@@ -1,0 +1,17 @@
+"""Ablation — how square tiles are dealt to processors.
+
+Grid-repeat interleave vs Morton-curve round-robin over identical
+tiles.  For power-of-two processor counts the two partitions are
+provably identical (Morton mod 2^(2k) relabels the square grid); at
+non-power-of-two counts they diverge and the grid wins — a Z-curve
+dealt over a count that does not divide its period clusters
+consecutive tiles onto one node.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_ablation_interleave_pattern(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_interleave_pattern(scale))
+    results_writer("ablation_interleave_pattern", text)

@@ -1,0 +1,15 @@
+"""Ablation — what static interleaving buys.
+
+Section 2 argues interleaving is what makes a static distribution
+balance at all.  This ablation contrasts interleaved square blocks with
+contiguous horizontal bands (same processor count, no interleaving) on
+both Figure-5 metrics: work imbalance and realised speedup.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_ablation_interleaving(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_interleaving(scale))
+    results_writer("ablation_interleaving", text)

@@ -1,0 +1,31 @@
+"""Ablations on the distributor model and workload robustness.
+
+* **Submission order** — clustered vs raster vs random triangle
+  emission against the triangle-buffer sweep.  Measured finding: with
+  interleaved tiles the orders are nearly indistinguishable, because
+  interleaving spatially de-clusters any stream.
+* **Routing** — realistic bounding-box routing vs an oracle that only
+  sends a triangle where it actually covers pixels: the grazed-tile
+  setup overhead grows sharply as tiles shrink below the triangle
+  size (room3's ~12-pixel triangles).
+* **Seeds** — regenerating the workload under different seeds: the
+  best-block-width conclusion must be a plateau, not a lottery.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_ablation_submission_order(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_submission_order(scale))
+    results_writer("ablation_submission_order", text)
+
+
+def bench_ablation_routing(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_routing(scale))
+    results_writer("ablation_routing", text)
+
+
+def bench_seed_sensitivity(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.seed_sensitivity(scale))
+    results_writer("seed_sensitivity", text)

@@ -1,0 +1,16 @@
+"""Ablation — 2D texture blocking vs raster-linear layout.
+
+The machine stores textures in 4x4-texel blocks so one 64-byte cache
+line covers a square texel neighbourhood (Hakura & Gupta); the obvious
+alternative is raster order, where a line holds a 16x1 texel strip.
+2D blocking should win, and the gap should *widen* under SLI with small
+groups, where horizontal strips lose their vertical reuse entirely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_ablation_texture_blocking(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_texture_blocking(scale))
+    results_writer("ablation_texture_blocking", text)

@@ -1,0 +1,26 @@
+"""Cross-architecture comparison and model-assumption validation.
+
+* **Sort-last baseline** — the object-partition architecture of the
+  authors' earlier papers ([13], [14]), against this paper's
+  sort-middle machine.  Expected shape: sort-last keeps each texture on
+  one node (lower texel/fragment), but its load balance is hostage to
+  the object mix, while sort-middle's tile grid balances by
+  construction — and only sort-middle retains strict OpenGL order.
+* **Prefetch validation** — the Section-3 modelling assumption that
+  memory latency is fully hidden, replayed through an explicit
+  pixel-FIFO pipeline: a deep FIFO must land within ~1% of the
+  zero-latency model, a shallow one must not.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_comparison_sort_last(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.comparison_sort_last(scale))
+    results_writer("comparison_sort_last", text)
+
+
+def bench_validation_prefetch(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.validation_prefetch(scale))
+    results_writer("validation_prefetch", text)

@@ -1,0 +1,33 @@
+"""Model extensions and validations beyond the paper's experiments.
+
+* **Early-Z ablation** — re-run the machine on depth-resolved fragment
+  streams to quantify the paper's "the Z-buffer has no impact"
+  modelling choice against a modern early-Z engine.
+* **Overlap-model validation** — measured bounding-box routing overlap
+  against the Chen et al. closed form the paper cites.
+* **Geometry-stage extension** — how many finite-rate geometry engines
+  the machine needs before the paper's ideal-geometry assumption holds.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_ablation_early_z(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_early_z(scale))
+    results_writer("ablation_early_z", text)
+
+
+def bench_validation_overlap_model(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.validation_overlap_model(scale))
+    results_writer("validation_overlap", text)
+
+
+def bench_extension_geometry_stage(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.extension_geometry_stage(scale))
+    results_writer("extension_geometry_stage", text)
+
+
+def bench_ablation_texel_format(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.ablation_texel_format(scale))
+    results_writer("ablation_texel_format", text)

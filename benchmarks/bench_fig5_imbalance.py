@@ -1,0 +1,25 @@
+"""Figure 5 (top) — load imbalance at 64 processors, perfect cache.
+
+For every benchmark scene and every tile size of both distributions,
+the percent difference between the busiest and the average processor's
+work (``max(25, pixels)`` per routed triangle).  Paper shape: imbalance
+grows with tile size; SLI is worse than square blocks at equal block
+height; the worst cases reach hundreds of percent.
+
+Runs at ``balance_scale`` (>= 0.5): imbalance depends on the number of
+blocks per processor, so it needs a near-full-size screen, and the
+perfect-cache analysis is cheap enough to afford one.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_fig5_imbalance_block(benchmark, balance_scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig5_imbalance("block", balance_scale))
+    results_writer("fig5_imbalance_block", text)
+
+
+def bench_fig5_imbalance_sli(benchmark, balance_scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig5_imbalance("sli", balance_scale))
+    results_writer("fig5_imbalance_sli", text)

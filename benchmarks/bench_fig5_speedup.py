@@ -1,0 +1,22 @@
+"""Figure 5 (bottom) — perfect-cache speedup vs. processors, 32massive.
+
+Speedup of the machine with an always-hitting texture cache for every
+tile size and processor count — pure load-balance + setup-overhead
+scaling, the paper's scene ``32massive11255``.  Paper shape: a width of
+16 scales best for square blocks at every processor count; single-line
+SLI and sub-8-pixel blocks are setup-bound; oversized tiles lose to
+imbalance at 64 processors.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_fig5_speedup_block(benchmark, balance_scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig5_speedup("block", balance_scale))
+    results_writer("fig5_speedup_block", text)
+
+
+def bench_fig5_speedup_sli(benchmark, balance_scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig5_speedup("sli", balance_scale))
+    results_writer("fig5_speedup_sli", text)

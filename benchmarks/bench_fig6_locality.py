@@ -1,0 +1,33 @@
+"""Figure 6 — texel-to-fragment ratio vs. processors and tile size.
+
+Every node simulates its private 16 KB 4-way cache with an infinite
+bus; the plotted metric is external texels fetched per fragment drawn,
+machine-wide.  The paper shows ``32massive11255`` (representative of
+room3/blowout/truc) and ``teapot.full`` (representative of quake).
+Paper shape: the ratio always rises as tiles shrink or processors
+multiply; SLI-2 is markedly worse than block-16; the teapot family
+lives at much higher ratios than the massive family.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_fig6_locality_massive_block(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig6("massive32_1255", "block", scale))
+    results_writer("fig6_massive_block", text)
+
+
+def bench_fig6_locality_massive_sli(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig6("massive32_1255", "sli", scale))
+    results_writer("fig6_massive_sli", text)
+
+
+def bench_fig6_locality_teapot_block(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig6("teapot_full", "block", scale))
+    results_writer("fig6_teapot_block", text)
+
+
+def bench_fig6_locality_teapot_sli(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig6("teapot_full", "sli", scale))
+    results_writer("fig6_teapot_sli", text)

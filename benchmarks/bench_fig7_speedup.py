@@ -1,0 +1,23 @@
+"""Figure 7 — speedups with 16 KB caches and a 1 texel/pixel bus.
+
+The paper's main result: speedup of every benchmark scene on 4-, 16-
+and 64-processor machines, for both distributions across all tile
+sizes, with the real cache and a bus sustaining 1 texel per pixel
+cycle.  Paper shape: the best block width is ~16 at every processor
+count; the best SLI height *shrinks* as processors grow (16 @ 4P,
+8 @ 16P, 4 @ 64P); block and SLI tie up to 16 processors and block
+wins at 64.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_fig7_speedup_block(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig7("block", scale))
+    results_writer("fig7_speedup_block", text)
+
+
+def bench_fig7_speedup_sli(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig7("sli", scale))
+    results_writer("fig7_speedup_sli", text)

@@ -1,0 +1,27 @@
+"""Figure 8 — speedup vs. block width and triangle-buffer size.
+
+The buffering study (Section 8): ``truc640`` on 64 processors with the
+block distribution, sweeping the triangle FIFO in front of each
+texture-mapping engine, once with a perfect cache and once with the
+16 KB cache on a 2 texels/pixel bus.  Paper shape: small buffers cost a
+large fraction of the speedup, the loss is *bigger* with the real cache
+(cache-miss bursts add local imbalance), and a small buffer also shifts
+the best block width downward.
+
+Buffer sizes are FIFO entries; the paper's 500-entry knee is relative
+to its ~12k-triangle scene, so at a linear scale ``s`` (``s**2`` fewer
+triangles) the knee lands around ``500 * s**2`` entries.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_fig8_buffer_perfect_cache(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig8("perfect", scale))
+    results_writer("fig8_buffer_perfect", text)
+
+
+def bench_fig8_buffer_real_cache(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.fig8("lru", scale))
+    results_writer("fig8_buffer_lru", text)

@@ -1,0 +1,27 @@
+"""Section-9 future-work studies the paper calls for but never ran.
+
+* **Dynamic load balancing** — an idealised runtime tile balancer (LPT
+  greedy over measured per-tile work) against the paper's static
+  interleave, including the cache effects the paper flags as unknown.
+  Expected shape: dynamic balancing mostly pays at *large* tile sizes
+  (it removes the imbalance that forced tiles to be small), letting a
+  bigger, more cache-friendly tile win overall.
+* **Inter-frame L2 cache** — per-node L1+L2 hierarchies replaying a
+  panning camera.  Expected shape (the paper's closing hypothesis):
+  the L2's warm-frame benefit decays as the per-frame pan approaches
+  and exceeds the tile size, and larger tiles keep their benefit
+  longer.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_future_dynamic_balancing(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.future_dynamic(scale))
+    results_writer("future_dynamic", text)
+
+
+def bench_future_l2_interframe(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.future_l2_interframe(scale))
+    results_writer("future_l2_interframe", text)

@@ -1,0 +1,23 @@
+"""Methodology benches: workload choice and scale substitution.
+
+* **CAD contrast** — the Section-4.2 argument measured: a
+  Viewperf-style CAD frame leaves the texture cache nearly idle, so
+  the distribution study *needs* the VR workloads.
+* **Scale stability** — headline metrics across scene scales, so a
+  reader can tell which conclusions of this reproduction are artefacts
+  of running reduced frames (absolute imbalance shrinks with scale;
+  the texel/fragment regime and best-width plateau hold).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_cad_contrast(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.cad_contrast(scale))
+    results_writer("cad_contrast", text)
+
+
+def bench_scale_stability(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.scale_stability(scale))
+    results_writer("scale_stability", text)

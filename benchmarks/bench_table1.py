@@ -1,0 +1,16 @@
+"""Table 1 — benchmark scene characteristics.
+
+Regenerates the paper's workload-characterisation table for the seven
+synthetic scenes at the experiment scale: screen size, pixels rendered,
+depth complexity, triangle/texture counts, texture footprint and the
+unique texel-to-fragment ratio.  Paper values for the original frames
+are tabulated in EXPERIMENTS.md next to these.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import experiments
+
+
+def bench_table1_scene_characteristics(benchmark, scale, results_writer):
+    text = run_once(benchmark, lambda: experiments.table1(scale))
+    results_writer("table1", text)

@@ -1,0 +1,61 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one table or figure of the paper at the
+experiment scale (``REPRO_SCALE`` env var, default 0.25 of the paper's
+frame size), prints it, and archives it under ``results/`` so
+EXPERIMENTS.md can reference measured output.
+
+Benchmarks are full experiments, not micro-kernels, so every one runs
+exactly once (``rounds=1``): pytest-benchmark records the wall time of
+the whole experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.scenes import experiment_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Paper sweep vocabulary.
+BLOCK_WIDTHS = (4, 8, 16, 32, 64, 128)
+SLI_LINES = (1, 2, 4, 8, 16, 32)
+PROCESSOR_COUNTS = (4, 16, 64)
+ALL_PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+BUFFER_SIZES = (1, 5, 10, 20, 50, 100, 500, 10000)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return experiment_scale()
+
+
+@pytest.fixture(scope="session")
+def balance_scale() -> float:
+    """Scale for the cache-free load-balance study (Figure 5).
+
+    Imbalance depends on blocks-per-processor, so it distorts on small
+    screens; since the perfect-cache analysis skips the expensive cache
+    replay, it can afford at least half the paper's frame size.
+    """
+    return max(experiment_scale(), 0.5)
+
+
+@pytest.fixture(scope="session")
+def results_writer():
+    """Returns save(name, text): print + archive one experiment's output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

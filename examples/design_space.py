@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space exploration: pick a tile shape for a scalable chip.
+
+The paper's central engineering question: a commodity 3D chip must
+hard-code its distribution scheme and tile size before manufacture.
+This example sweeps both families over several machine sizes on a
+virtual-reality workload and prints, for each processor count, the
+best square-block width and the best SLI group height — demonstrating
+result (ii): the best block width is stable (~16) while the best SLI
+height depends on the machine size, so only square blocks suit a
+fixed-function scalable part.
+
+Run:  python examples/design_space.py [scale]
+"""
+
+import sys
+
+from repro import build_scene
+from repro.analysis import SpeedupStudy, format_table
+
+BLOCK_WIDTHS = (4, 8, 16, 32, 64, 128)
+SLI_LINES = (1, 2, 4, 8, 16, 32)
+PROCESSORS = (4, 16, 64)
+SCENE = "massive32_1255"
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    scene = build_scene(SCENE, scale=scale)
+    study = SpeedupStudy(scene, cache="lru", bus_ratio=1.0)
+
+    rows = []
+    for count in PROCESSORS:
+        block_size, block_speedup = study.best_size("block", BLOCK_WIDTHS, count)
+        sli_size, sli_speedup = study.best_size("sli", SLI_LINES, count)
+        rows.append(
+            [
+                count,
+                f"w={block_size}",
+                round(block_speedup, 2),
+                f"l={sli_size}",
+                round(sli_speedup, 2),
+                "block" if block_speedup >= sli_speedup else "sli",
+            ]
+        )
+
+    print(f"Best tile size per machine size — {SCENE} at scale {scale}\n")
+    print(
+        format_table(
+            ["processors", "best block", "speedup", "best SLI", "speedup", "winner"],
+            rows,
+        )
+    )
+    print(
+        "\nA fixed-function chip must freeze one size for every machine it"
+        "\nwill ever be soldered into; the best block width barely moves,"
+        "\nwhile the best SLI height collapses as the machine grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Export visual and tabular artifacts: images, CSV, ASCII.
+
+Produces, under ``artifacts/``:
+
+* ``owners_block16.ppm`` / ``owners_sli4.ppm`` — colour maps of which
+  processor owns each pixel under the two distributions (Figure 1 of
+  the paper, as actual images);
+* ``overdraw_<scene>.ppm`` — per-pixel depth-complexity heat maps (the
+  clustered overdraw that drives the load-balance results);
+* ``sweep.csv`` — a block-width x processor-count speedup sweep in
+  long format, ready for a spreadsheet or pandas.
+
+Run:  python examples/export_artifacts.py [scale]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import BlockInterleaved, ScanLineInterleaved, build_scene
+from repro.analysis import SpeedupStudy, save_overdraw, save_owner_map, sweep_to_csv
+
+OUT = Path("artifacts")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.125
+    OUT.mkdir(exist_ok=True)
+
+    scene = build_scene("massive32_1255", scale=scale)
+    width, height = scene.width, scene.height
+
+    save_owner_map(BlockInterleaved(16, 16), width, height, OUT / "owners_block16.ppm")
+    save_owner_map(ScanLineInterleaved(16, 4), width, height, OUT / "owners_sli4.ppm")
+    print(f"wrote {OUT}/owners_block16.ppm and {OUT}/owners_sli4.ppm "
+          f"({width}x{height})")
+
+    for name in ("massive32_1255", "room3"):
+        heat_scene = build_scene(name, scale=scale)
+        path = OUT / f"overdraw_{name}.ppm"
+        save_overdraw(heat_scene, path)
+        print(f"wrote {path} (depth complexity "
+              f"{heat_scene.statistics().depth_complexity:.2f})")
+
+    study = SpeedupStudy(scene, cache="lru", bus_ratio=1.0)
+    sweep = study.sweep("block", [8, 16, 32, 64], [4, 16])
+    csv_path = OUT / "sweep.csv"
+    sweep_to_csv(sweep, row_label="width", value_label="speedup", path=csv_path)
+    print(f"wrote {csv_path} ({len(sweep)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Full OpenGL-style pipeline demo: a 3D textured room, end to end.
+
+Authors a small virtual-reality room in *world space* (floor, walls,
+ceiling and a few pillars, all textured), runs the geometry stage
+(view/projection transform, near-plane clipping, backface culling),
+captures the resulting screen-space trace, and simulates it on the
+parallel texture-mapping machine — the whole path a frame travels in
+the paper's system, plus a terminal heatmap of where the overdraw is.
+
+Run:  python examples/opengl_room_demo.py
+"""
+
+from repro import (
+    BlockInterleaved,
+    Camera,
+    MachineConfig,
+    MipmappedTexture,
+    Scene,
+    project_triangles,
+    simulate_machine,
+    single_processor_baseline,
+    textured_quad_3d,
+)
+from repro.analysis import ascii_heatmap, depth_complexity_map, node_load_bars
+
+WIDTH, HEIGHT = 320, 240
+
+
+def build_room():
+    """World geometry: a 20x8x20 room with four textured pillars."""
+    world = []
+    # Floor (texture 0) and ceiling (texture 1).
+    world += textured_quad_3d((-10, 0, -10), (20, 0, 0), (0, 0, 20), texture=0, texel_scale=6)
+    world += textured_quad_3d((-10, 8, -10), (0, 0, 20), (20, 0, 0), texture=1, texel_scale=6)
+    # Walls (texture 2).
+    world += textured_quad_3d((-10, 0, -10), (20, 0, 0), (0, 8, 0), texture=2, texel_scale=8)
+    world += textured_quad_3d((10, 0, -10), (0, 0, 20), (0, 8, 0), texture=2, texel_scale=8)
+    world += textured_quad_3d((-10, 0, 10), (0, 0, -20), (0, 8, 0), texture=2, texel_scale=8)
+    # Pillars (texture 3), one quad facing the camera each.
+    for px, pz in ((-5, -3), (5, -3), (-5, 3), (5, 3)):
+        world += textured_quad_3d(
+            (px - 0.7, 0, pz), (1.4, 0, 0), (0, 6, 0), texture=3, texel_scale=20
+        )
+    return world
+
+
+def main() -> None:
+    camera = Camera(
+        eye=(0, 4, 14),
+        target=(0, 3, 0),
+        fov_y_degrees=70,
+        viewport_width=WIDTH,
+        viewport_height=HEIGHT,
+    )
+    screen_triangles = project_triangles(build_room(), camera, cull_backfaces=False)
+    textures = [MipmappedTexture(128, 128) for _ in range(4)]
+    scene = Scene("room_demo", WIDTH, HEIGHT, textures, screen_triangles)
+    stats = scene.statistics()
+    print(
+        f"geometry stage emitted {scene.num_triangles} screen triangles; "
+        f"{stats.pixels_rendered:,} pixels drawn "
+        f"(depth complexity {stats.depth_complexity:.2f})\n"
+    )
+
+    print("overdraw heatmap (brighter = more layers):")
+    print(ascii_heatmap(depth_complexity_map(scene, columns=64, rows=16)))
+
+    config = MachineConfig(distribution=BlockInterleaved(8, width=16), cache="lru")
+    baseline = single_processor_baseline(scene, config)
+    result = simulate_machine(scene, config, baseline_cycles=baseline)
+    print(f"\n8-processor machine, block-16 tiles: speedup {result.speedup:.2f}x, "
+          f"{result.texel_to_fragment:.2f} texels/fragment\n")
+    print(node_load_bars(result, width=40))
+
+
+if __name__ == "__main__":
+    main()

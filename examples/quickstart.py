@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one frame on a 16-processor machine.
+
+Builds a small version of the paper's ``truc640`` benchmark scene,
+runs it on a 16-node sort-middle machine with square 16-pixel blocks,
+private 16 KB texture caches and a 1 texel/pixel bus, and prints the
+frame time, speedup and texture-bandwidth figures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BlockInterleaved,
+    MachineConfig,
+    build_scene,
+    simulate_machine,
+    single_processor_baseline,
+)
+
+
+def main() -> None:
+    # A quarter-scale frame keeps the run at a few seconds.
+    scene = build_scene("truc640", scale=0.25)
+    stats = scene.statistics()
+    print(f"scene: {stats.name}  {stats.screen_width}x{stats.screen_height}")
+    print(f"  {stats.pixels_rendered:,} pixels drawn  "
+          f"(depth complexity {stats.depth_complexity:.2f})")
+    print(f"  {stats.num_triangles:,} triangles, {stats.num_textures} textures, "
+          f"{stats.texture_megabytes:.2f} MB allocated")
+
+    config = MachineConfig(
+        distribution=BlockInterleaved(16, width=16),
+        cache="lru",      # 16 KB, 4-way, 64-byte lines
+        bus_ratio=1.0,    # 1 texel per pixel-cycle of sustained bandwidth
+    )
+    baseline = single_processor_baseline(scene, config)
+    result = simulate_machine(scene, config, baseline_cycles=baseline)
+
+    print(f"\nmachine: {result.num_processors} processors, "
+          f"{result.distribution}, cache={result.cache_name}, "
+          f"bus={result.bus_ratio:g} texel/pixel")
+    print(f"  single-processor frame time: {baseline:,.0f} cycles")
+    print(f"  parallel frame time:         {result.cycles:,.0f} cycles")
+    print(f"  speedup:                     {result.speedup:.2f}x "
+          f"({result.efficiency:.0%} efficiency)")
+    print(f"  work imbalance:              {result.work_imbalance_percent():.1f}%")
+    print(f"  texture traffic:             "
+          f"{result.texel_to_fragment:.3f} texels/fragment "
+          f"(8.0 would mean no cache at all)")
+
+    critical = result.timings.critical_node
+    print(f"  critical node:               #{critical} "
+          f"(busy {result.timings.busy[critical]:,.0f}, "
+          f"stalled {result.timings.stall[critical]:,.0f} cycles)")
+
+
+if __name__ == "__main__":
+    main()

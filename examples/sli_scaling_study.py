@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""SLI scaling study: why scan-line interleaving fails to scale.
+
+Walks one scene through machine sizes 2..64 with both distributions at
+their best fixed tile size, separating the two opposing forces the
+paper studies — load imbalance (wants small tiles) and texture-cache
+locality (wants big tiles) — and showing where SLI falls behind.
+
+Run:  python examples/sli_scaling_study.py [scale]
+"""
+
+import sys
+
+from repro import BlockInterleaved, ScanLineInterleaved, build_scene
+from repro.analysis import (
+    SpeedupStudy,
+    format_table,
+    imbalance_percent,
+    texel_to_fragment_ratio,
+)
+
+SCENE = "massive32_1255"
+PROCESSORS = (2, 4, 8, 16, 32, 64)
+BLOCK_WIDTH = 16   # the paper's universally good square block
+SLI_HEIGHT = 4     # the best fixed SLI height at 64P
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    scene = build_scene(SCENE, scale=scale)
+    study = SpeedupStudy(scene, cache="lru", bus_ratio=1.0)
+
+    rows = []
+    for count in PROCESSORS:
+        block = BlockInterleaved(count, BLOCK_WIDTH)
+        sli = ScanLineInterleaved(count, SLI_HEIGHT)
+        rows.append(
+            [
+                count,
+                round(imbalance_percent(scene, block), 1),
+                round(imbalance_percent(scene, sli), 1),
+                round(texel_to_fragment_ratio(scene, block), 2),
+                round(texel_to_fragment_ratio(scene, sli), 2),
+                round(study.speedup(block), 2),
+                round(study.speedup(sli), 2),
+            ]
+        )
+
+    print(
+        f"{SCENE} at scale {scale}: fixed block-{BLOCK_WIDTH} vs fixed "
+        f"SLI-{SLI_HEIGHT}, 16 KB caches, 1x bus\n"
+    )
+    print(
+        format_table(
+            [
+                "procs",
+                "imbal% block",
+                "imbal% sli",
+                "t/f block",
+                "t/f sli",
+                "speedup block",
+                "speedup sli",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nWith a frozen tile size, SLI's balance/locality compromise "
+        "drifts as the machine grows; square blocks keep both in check."
+    )
+
+
+if __name__ == "__main__":
+    main()

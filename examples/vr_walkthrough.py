@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""VR walkthrough: size the triangle buffer for a 64-way machine.
+
+A virtual-reality frame arrives as one strictly ordered triangle
+stream; a busy node with a full FIFO stalls the whole distribution
+(head-of-line blocking), so the buffer in front of each texture-mapping
+engine decides how much of the machine's parallelism survives.  This
+example reproduces the Section-8 methodology on the ``truc640`` frame:
+sweep the FIFO depth, find the knee, and report the buffer a designer
+should provision.
+
+Run:  python examples/vr_walkthrough.py [scale]
+"""
+
+import sys
+
+from repro import build_scene
+from repro.analysis import buffer_sweep, format_table
+
+SCENE = "truc640"
+PROCESSORS = 64
+WIDTH = 16
+BUFFERS = (1, 2, 5, 10, 20, 50, 100, 500, 10000)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    scene = build_scene(SCENE, scale=scale)
+    print(
+        f"{SCENE} at scale {scale}: {scene.num_triangles:,} triangles, "
+        f"{PROCESSORS}-processor block-{WIDTH} machine, 16 KB caches, 2x bus\n"
+    )
+
+    sweep = buffer_sweep(
+        scene,
+        "block",
+        sizes=[WIDTH],
+        buffer_sizes=BUFFERS,
+        num_processors=PROCESSORS,
+        cache="lru",
+        bus_ratio=2.0,
+    )
+    ideal = sweep[(WIDTH, BUFFERS[-1])]
+    rows = [
+        [entries, round(sweep[(WIDTH, entries)], 2),
+         f"{sweep[(WIDTH, entries)] / ideal:.0%}"]
+        for entries in BUFFERS
+    ]
+    print(format_table(["buffer entries", "speedup", "of ideal"], rows))
+
+    knee = next(
+        entries for entries in BUFFERS if sweep[(WIDTH, entries)] >= 0.95 * ideal
+    )
+    per_node = scene.num_triangles / PROCESSORS
+    print(
+        f"\n95% of the ideal speedup needs a ~{knee}-entry FIFO "
+        f"(~{knee / per_node:.1f}x the mean per-node stream of "
+        f"{per_node:.0f} triangles)."
+    )
+    print(
+        "At the paper's full frame size the same analysis lands at the "
+        "~500-entry buffer it recommends."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproduce the whole paper: tests, every table/figure, extensions.
+#
+# Usage:
+#   scripts/reproduce.sh          # default scale (0.25 linear)
+#   REPRO_SCALE=0.5 scripts/reproduce.sh
+#   REPRO_WORKERS=8 scripts/reproduce.sh   # parallel Figure-7 panels
+#
+# Outputs land in results/ (one .txt per table/figure).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== test suite =="
+python -m pytest tests/ -q
+
+echo "== benchmark harness (all tables & figures) =="
+python -m pytest benchmarks/ --benchmark-only -q
+
+echo "== assemble REPORT.md and docs/API.md =="
+python scripts/gen_report.py
+python scripts/gen_api_docs.py
+
+echo "== results =="
+ls -l results/

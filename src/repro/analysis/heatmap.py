@@ -1,0 +1,75 @@
+"""Terminal visualisation: depth-complexity heatmaps and load bars.
+
+The paper's load-balance argument is spatial — depth complexity is
+clustered, so big tiles capture unequal work.  These helpers make that
+visible in a terminal: the overdraw field of a scene as an ASCII
+heatmap, the ownership pattern of a distribution, and per-node load as
+a bar chart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import MachineResult
+from repro.distribution.base import Distribution
+from repro.errors import ConfigurationError
+from repro.geometry.scene import Scene
+
+#: Dark-to-bright shading ramp.
+PALETTE = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, max_value: Optional[float] = None) -> str:
+    """Render a 2D array as shaded characters (row 0 on top)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(f"heatmap needs a 2D array, got shape {values.shape}")
+    ceiling = max_value if max_value is not None else float(values.max())
+    if ceiling <= 0:
+        ceiling = 1.0
+    levels = np.clip(values / ceiling, 0.0, 1.0) * (len(PALETTE) - 1)
+    indices = np.rint(levels).astype(int)
+    return "\n".join("".join(PALETTE[i] for i in row) for row in indices)
+
+
+def depth_complexity_map(scene: Scene, columns: int = 64, rows: int = 24) -> np.ndarray:
+    """Average overdraw per character cell, shape ``(rows, columns)``."""
+    if columns < 1 or rows < 1:
+        raise ConfigurationError("heatmap needs at least one cell")
+    fragments = scene.fragments()
+    cell_x = np.minimum(fragments.x * columns // scene.width, columns - 1)
+    cell_y = np.minimum(fragments.y * rows // scene.height, rows - 1)
+    counts = np.bincount(cell_y * columns + cell_x, minlength=rows * columns)
+    pixels_per_cell = (scene.width / columns) * (scene.height / rows)
+    return counts.reshape(rows, columns) / pixels_per_cell
+
+
+def ownership_map(
+    distribution: Distribution, width: int, height: int, columns: int = 64, rows: int = 24
+) -> str:
+    """Character map of tile ownership (one symbol per processor)."""
+    symbols = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    xs = (np.arange(columns) * width) // columns
+    ys = (np.arange(rows) * height) // rows
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    owners = distribution.owners(grid_x.ravel(), grid_y.ravel()).reshape(rows, columns)
+    return "\n".join(
+        "".join(symbols[owner % len(symbols)] for owner in row) for row in owners
+    )
+
+
+def node_load_bars(result: MachineResult, width: int = 50) -> str:
+    """Horizontal bars of per-node finish time, busiest marked."""
+    finish = result.timings.finish
+    peak = finish.max() if len(finish) else 1.0
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    for node, value in enumerate(finish):
+        bar = "#" * max(1, int(round(value / peak * width)))
+        marker = " <- critical" if node == result.timings.critical_node else ""
+        lines.append(f"node {node:3d} |{bar:<{width}}| {value:,.0f}{marker}")
+    return "\n".join(lines)

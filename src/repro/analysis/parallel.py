@@ -1,0 +1,61 @@
+"""Multi-process sweep execution.
+
+A full-scale (``REPRO_SCALE=1.0``) Figure-7 run is hundreds of
+independent cache replays; this helper fans the per-scene panels out
+over worker processes.  Workers rebuild scenes from their (name,
+scale) identity — scenes are deterministic — so nothing heavyweight is
+pickled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable selecting the worker count for experiments.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def worker_count() -> int:
+    """Worker processes for sweeps (0 = run inline), from the env."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return 0
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"{WORKERS_ENV_VAR} must be an int, got {raw!r}") from exc
+    if workers < 0:
+        raise ConfigurationError(f"{WORKERS_ENV_VAR} must be >= 0, got {workers}")
+    return workers
+
+
+def run_tasks(
+    fn: Callable,
+    argument_tuples: Sequence[Tuple],
+    workers: int = 0,
+) -> List:
+    """Apply ``fn`` to each argument tuple, optionally across processes.
+
+    Results come back in submission order.  ``fn`` must be a
+    module-level callable (picklable) when ``workers > 0``.
+    """
+    if workers <= 1:
+        return [fn(*arguments) for arguments in argument_tuples]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *arguments) for arguments in argument_tuples]
+        return [future.result() for future in futures]
+
+
+def keyed_tasks(
+    fn: Callable,
+    keyed_arguments: Iterable[Tuple[object, Tuple]],
+    workers: int = 0,
+) -> Dict:
+    """Like :func:`run_tasks` but returns ``{key: result}``."""
+    keyed = list(keyed_arguments)
+    results = run_tasks(fn, [arguments for _key, arguments in keyed], workers)
+    return {key: result for (key, _), result in zip(keyed, results)}

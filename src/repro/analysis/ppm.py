@@ -1,0 +1,108 @@
+"""PPM image export — figures without plotting dependencies.
+
+Binary PPM (P6) is the simplest raster format there is; these helpers
+turn the library's spatial data — overdraw fields, ownership maps,
+per-pixel work — into image files any viewer opens, keeping the
+library free of matplotlib.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.errors import ConfigurationError
+from repro.geometry.scene import Scene
+
+
+def write_ppm(path: Union[str, Path], rgb: np.ndarray) -> None:
+    """Write an ``(height, width, 3)`` uint8 array as binary PPM."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ConfigurationError(f"PPM needs (h, w, 3) data, got shape {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        rgb = np.clip(rgb, 0, 255).astype(np.uint8)
+    height, width, _ = rgb.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + rgb.tobytes())
+
+
+def read_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PPM written by :func:`write_ppm`."""
+    data = Path(path).read_bytes()
+    fields = data.split(maxsplit=4)
+    if fields[0] != b"P6":
+        raise ConfigurationError(f"{path}: not a binary PPM file")
+    width, height, maxval = int(fields[1]), int(fields[2]), int(fields[3])
+    if maxval != 255:
+        raise ConfigurationError(f"{path}: unsupported max value {maxval}")
+    pixels = np.frombuffer(fields[4], dtype=np.uint8, count=width * height * 3)
+    return pixels.reshape(height, width, 3)
+
+
+def heat_colormap(values: np.ndarray, ceiling: float = 0.0) -> np.ndarray:
+    """Black -> red -> yellow -> white heat ramp over a 2D field."""
+    values = np.asarray(values, dtype=float)
+    top = ceiling if ceiling > 0 else float(values.max()) or 1.0
+    t = np.clip(values / top, 0.0, 1.0)
+    r = np.clip(3.0 * t, 0, 1)
+    g = np.clip(3.0 * t - 1.0, 0, 1)
+    b = np.clip(3.0 * t - 2.0, 0, 1)
+    return (np.stack([r, g, b], axis=-1) * 255).astype(np.uint8)
+
+
+def _node_palette(count: int) -> np.ndarray:
+    """Deterministic, visually spread RGB colours for node ids."""
+    hues = (np.arange(count) * 0.61803398875) % 1.0
+    saturation, value = 0.65, 0.95
+    i = np.floor(hues * 6).astype(int)
+    f = hues * 6 - i
+    p = value * (1 - saturation)
+    q = value * (1 - f * saturation)
+    t = value * (1 - (1 - f) * saturation)
+    v = np.full(count, value)
+    lookup = {
+        0: (v, t, np.full(count, p)),
+        1: (q, v, np.full(count, p)),
+        2: (np.full(count, p), v, t),
+        3: (np.full(count, p), q, v),
+        4: (t, np.full(count, p), v),
+        5: (v, np.full(count, p), q),
+    }
+    rgb = np.empty((count, 3))
+    for sector, (r, g, b) in lookup.items():
+        mask = (i % 6) == sector
+        rgb[mask, 0] = r[mask]
+        rgb[mask, 1] = g[mask]
+        rgb[mask, 2] = b[mask]
+    return (rgb * 255).astype(np.uint8)
+
+
+def owner_map_image(distribution: Distribution, width: int, height: int) -> np.ndarray:
+    """Colour image of pixel ownership under a distribution."""
+    owners = distribution.owner_map(width, height)
+    palette = _node_palette(distribution.num_processors)
+    return palette[owners]
+
+
+def overdraw_image(scene: Scene, ceiling: float = 0.0) -> np.ndarray:
+    """Per-pixel overdraw of a scene as a heat image."""
+    fragments = scene.fragments()
+    counts = np.bincount(
+        fragments.y.astype(np.int64) * scene.width + fragments.x,
+        minlength=scene.screen_pixels,
+    ).reshape(scene.height, scene.width)
+    return heat_colormap(counts, ceiling)
+
+
+def save_owner_map(distribution: Distribution, width: int, height: int, path) -> None:
+    """Render and write a distribution's ownership image."""
+    write_ppm(path, owner_map_image(distribution, width, height))
+
+
+def save_overdraw(scene: Scene, path, ceiling: float = 0.0) -> None:
+    """Render and write a scene's overdraw heat image."""
+    write_ppm(path, overdraw_image(scene, ceiling))

@@ -1,0 +1,5 @@
+"""Texture memory-bus model."""
+
+from repro.bus.bus import BusModel, INFINITE_BANDWIDTH
+
+__all__ = ["BusModel", "INFINITE_BANDWIDTH"]

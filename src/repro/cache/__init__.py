@@ -1,0 +1,29 @@
+"""Texture-cache simulator.
+
+Implements the cache organisation of Hakura & Gupta that the paper
+fixes for every node: 16 KB, 4-way set-associative, 64-byte lines
+holding one 4x4 texel block, LRU replacement — plus the *perfect* cache
+(always hits) used for the load-balancing study and the *cacheless*
+machine (8 texels fetched per fragment) used as the bandwidth baseline.
+"""
+
+from repro.cache.config import CacheConfig, DEFAULT_CACHE
+from repro.cache.lru import LruCache
+from repro.cache.models import NoCache, PerfectCache, TextureCacheModel, make_cache_model
+from repro.cache.stats import CacheRunResult
+from repro.cache.stream import replay_fragments
+from repro.cache.hierarchy import DEFAULT_L2, TwoLevelCache
+
+__all__ = [
+    "CacheConfig",
+    "DEFAULT_CACHE",
+    "LruCache",
+    "PerfectCache",
+    "NoCache",
+    "TextureCacheModel",
+    "make_cache_model",
+    "CacheRunResult",
+    "replay_fragments",
+    "TwoLevelCache",
+    "DEFAULT_L2",
+]

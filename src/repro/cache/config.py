@@ -1,0 +1,51 @@
+"""Cache geometry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.texture.layout import LINE_BYTES, TEXELS_PER_LINE
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative texture cache.
+
+    Defaults follow the paper (after Hakura & Gupta): 16 KB total,
+    64-byte lines, 4-way set-associative.
+    """
+
+    total_bytes: int = 16384
+    line_bytes: int = LINE_BYTES
+    ways: int = 4
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 1 or self.total_bytes < self.line_bytes:
+            raise ConfigurationError(
+                f"cache of {self.total_bytes} B cannot hold {self.line_bytes}-byte lines"
+            )
+        if self.ways < 1:
+            raise ConfigurationError(f"associativity must be >= 1, got {self.ways}")
+        if self.total_bytes % (self.line_bytes * self.ways):
+            raise ConfigurationError(
+                "total size must be a whole number of sets: "
+                f"{self.total_bytes} B / ({self.line_bytes} B x {self.ways} ways)"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.total_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    @property
+    def texels_per_line(self) -> int:
+        """Texels a line fill brings in (4-byte texels)."""
+        return TEXELS_PER_LINE
+
+
+#: The paper's fixed node cache.
+DEFAULT_CACHE = CacheConfig()

@@ -1,0 +1,111 @@
+"""Set-associative LRU cache simulation.
+
+Two equivalent interfaces are provided:
+
+* :meth:`LruCache.access` — one line at a time; the obvious reference
+  implementation, used directly by unit and property tests.
+* :meth:`LruCache.simulate` — whole address streams at once.  It
+  exploits two exact identities to stay fast in Python: an access to
+  the line just accessed always hits (so consecutive duplicates can be
+  collapsed), and accesses to different sets never interact (so the
+  stream can be stably partitioned per set and each set replayed
+  independently).  Both paths produce bit-identical miss masks.
+
+The cache is *stateful across calls*, so long streams can be fed in
+chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+
+
+class LruCache:
+    """An N-way set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: Dict[int, List[int]] = {}
+        self._last_line: Optional[int] = None
+
+    def reset(self) -> None:
+        """Empty the cache."""
+        self._sets.clear()
+        self._last_line = None
+
+    # -- reference path ------------------------------------------------------
+
+    def access(self, line: int) -> bool:
+        """Access one line; returns True on hit."""
+        line = int(line)
+        self._last_line = line
+        ways = self._sets.setdefault(line % self.config.num_sets, [])
+        try:
+            position = ways.index(line)
+        except ValueError:
+            if len(ways) >= self.config.ways:
+                ways.pop()
+            ways.insert(0, line)
+            return False
+        if position:
+            del ways[position]
+            ways.insert(0, line)
+        return True
+
+    # -- batched path ----------------------------------------------------------
+
+    def simulate(self, lines: np.ndarray) -> np.ndarray:
+        """Access a stream of lines; returns a per-access miss mask."""
+        lines = np.asarray(lines, dtype=np.int64)
+        n = len(lines)
+        misses = np.zeros(n, dtype=bool)
+        if n == 0:
+            return misses
+
+        # Collapse consecutive duplicates: repeats always hit.
+        keep = np.empty(n, dtype=bool)
+        keep[0] = self._last_line is None or lines[0] != self._last_line
+        np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+        positions = np.flatnonzero(keep)
+        self._last_line = int(lines[-1])
+        if len(positions) == 0:
+            return misses
+        deduped = lines[positions]
+
+        # Stable partition by set; each set's subsequence keeps its order.
+        sets = deduped % self.config.num_sets
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        boundaries = np.flatnonzero(np.diff(sorted_sets)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(order)]))
+
+        deduped_misses = np.zeros(len(positions), dtype=bool)
+        max_ways = self.config.ways
+        for start, end in zip(starts, ends):
+            indices = order[start:end]
+            ways = self._sets.setdefault(int(sorted_sets[start]), [])
+            for index in indices:
+                line = int(deduped[index])
+                try:
+                    position = ways.index(line)
+                except ValueError:
+                    deduped_misses[index] = True
+                    if len(ways) >= max_ways:
+                        ways.pop()
+                    ways.insert(0, line)
+                else:
+                    if position:
+                        del ways[position]
+                        ways.insert(0, line)
+
+        misses[positions] = deduped_misses
+        return misses
+
+    def contents(self) -> Dict[int, List[int]]:
+        """Snapshot of each non-empty set, MRU first (for tests)."""
+        return {index: list(ways) for index, ways in self._sets.items() if ways}

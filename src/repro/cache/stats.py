@@ -1,0 +1,61 @@
+"""Cache replay statistics.
+
+The paper's central locality metric is the *texel-to-fragment ratio*
+(Igehy et al.): texels fetched from external memory divided by
+fragments drawn.  8.0 means cacheless behaviour, lower is better, and
+the *unique* ratio (distinct texels / fragments) is the compulsory-miss
+floor an ideal cache would achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CacheRunResult:
+    """Outcome of replaying one node's fragment stream through a cache."""
+
+    fragments: int = 0
+    texel_accesses: int = 0
+    line_accesses: int = 0
+    misses: int = 0
+    compulsory_misses: int = 0
+    texels_fetched: int = 0
+    #: Texels fetched attributed to each triangle (bus-demand input of
+    #: the timing model); length == scene triangle count.
+    texels_by_triangle: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per line access."""
+        if self.line_accesses == 0:
+            return 0.0
+        return self.misses / self.line_accesses
+
+    @property
+    def texel_to_fragment(self) -> float:
+        """External texels per drawn fragment (the Figure-6 metric)."""
+        if self.fragments == 0:
+            return 0.0
+        return self.texels_fetched / self.fragments
+
+    def merged_with(self, other: "CacheRunResult") -> "CacheRunResult":
+        """Aggregate two runs (e.g. the same machine's nodes)."""
+        if len(self.texels_by_triangle) == 0:
+            by_triangle = other.texels_by_triangle.copy()
+        elif len(other.texels_by_triangle) == 0:
+            by_triangle = self.texels_by_triangle.copy()
+        else:
+            by_triangle = self.texels_by_triangle + other.texels_by_triangle
+        return CacheRunResult(
+            fragments=self.fragments + other.fragments,
+            texel_accesses=self.texel_accesses + other.texel_accesses,
+            line_accesses=self.line_accesses + other.line_accesses,
+            misses=self.misses + other.misses,
+            compulsory_misses=self.compulsory_misses + other.compulsory_misses,
+            texels_fetched=self.texels_fetched + other.texels_fetched,
+            texels_by_triangle=by_triangle,
+        )

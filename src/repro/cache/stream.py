@@ -1,0 +1,84 @@
+"""Replaying fragment streams through a cache model.
+
+Bridges the rasterizer/filter world (fragments with texture
+coordinates) and the cache world (line-address streams), in bounded
+memory: fragments are processed in chunks, relying on the cache models
+being stateful across calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.models import TextureCacheModel
+from repro.cache.stats import CacheRunResult
+from repro.raster.fragments import FragmentBuffer
+from repro.texture.filtering import TEXELS_PER_FRAGMENT, TrilinearFilter
+
+#: Fragments per replay chunk; 8 line addresses each keeps peak memory
+#: around a few tens of megabytes.
+DEFAULT_CHUNK = 1 << 18
+
+
+def replay_fragments(
+    fragments: FragmentBuffer,
+    tex_filter: TrilinearFilter,
+    model: TextureCacheModel,
+    seen_lines: Optional[np.ndarray] = None,
+    chunk_size: int = DEFAULT_CHUNK,
+    reset: bool = True,
+) -> CacheRunResult:
+    """Replay one node's fragment stream; returns aggregate statistics.
+
+    ``model`` is reset first (``reset=True``), so a call simulates one
+    cold engine drawing the given stream in order; pass ``reset=False``
+    to continue with warm state — how the inter-frame L2 study chains
+    consecutive frames through one hierarchy.  ``seen_lines`` (a
+    boolean array of layout.total_lines) enables compulsory-miss
+    classification; pass a fresh zeroed array per node.
+    """
+    if reset:
+        model.reset()
+    n = len(fragments)
+    result = CacheRunResult(
+        fragments=n,
+        texels_by_triangle=np.zeros(fragments.num_triangles, dtype=np.int64),
+    )
+    for start in range(0, n, chunk_size):
+        stop = min(n, start + chunk_size)
+        lines = tex_filter.line_addresses(
+            fragments.u[start:stop],
+            fragments.v[start:stop],
+            fragments.level[start:stop].astype(np.int64),
+            fragments.texture[start:stop].astype(np.int64),
+        )
+        flat = lines.reshape(-1)
+        miss_mask = model.misses(flat)
+        misses = int(miss_mask.sum())
+
+        result.texel_accesses += flat.size
+        result.line_accesses += flat.size
+        result.misses += misses
+        result.texels_fetched += misses * model.texels_per_fetch
+
+        if misses:
+            miss_rows = np.flatnonzero(miss_mask)
+            if seen_lines is not None:
+                missed = flat[miss_rows]
+                fresh = ~seen_lines[missed]
+                result.compulsory_misses += int(fresh.sum())
+                seen_lines[missed] = True
+            # Attribute fetched texels to the owning triangles for the
+            # timing model's per-triangle bus demand.
+            frag_rows = miss_rows // TEXELS_PER_FRAGMENT
+            triangles = fragments.triangle[start:stop][frag_rows]
+            np.add.at(
+                result.texels_by_triangle,
+                triangles,
+                model.texels_per_fetch,
+            )
+        elif seen_lines is not None:
+            seen_lines[np.unique(flat)] = True
+    return result

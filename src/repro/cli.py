@@ -1,0 +1,206 @@
+"""``repro-experiments`` — run the paper's experiments from the shell.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments table1
+    repro-experiments fig6 --scale 0.5
+    repro-experiments all --scale 0.25 --out results/
+    repro-experiments dump-trace --scene quake --path quake.trace
+    repro-experiments replay-trace --path quake.trace --processors 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.workloads.scenes import experiment_scale
+
+#: Utility commands handled outside the experiment registry.
+_COMMANDS = ("list", "all", "dump-trace", "replay-trace", "batch")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'The Best Distribution "
+            "for a Parallel OpenGL 3D Engine with Texture Caches' (HPCA 2000)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment name, 'all', 'list' to enumerate, "
+            "'dump-trace' or 'replay-trace' for trace files"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "linear scene scale in (0, 1]; 1.0 is the paper's frame size "
+            "(default: REPRO_SCALE env var or 0.25)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write each result into (one .txt per experiment)",
+    )
+    parser.add_argument(
+        "--scene",
+        default="truc640",
+        help="benchmark scene name for dump-trace (default: truc640)",
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=None,
+        help="trace file path for dump-trace / replay-trace",
+    )
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=16,
+        help="processor count for replay-trace (default: 16)",
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=16,
+        help="block width for replay-trace (default: 16)",
+    )
+    return parser
+
+
+def _run_one(name: str, scale: float, out: Optional[Path]) -> None:
+    description, runner = EXPERIMENTS[name]
+    started = time.time()
+    text = runner(scale)
+    elapsed = time.time() - started
+    print(text)
+    print(f"[{name}: {description} — {elapsed:.1f}s]\n")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name.replace('-', '_')}.txt").write_text(text + "\n")
+
+
+def _dump_trace(args, scale: float) -> int:
+    from repro.geometry.trace import save_trace
+    from repro.workloads.scenes import SCENE_NAMES, build_scene
+
+    if args.path is None:
+        print("error: dump-trace needs --path", file=sys.stderr)
+        return 2
+    if args.scene not in SCENE_NAMES:
+        print(
+            f"error: unknown scene {args.scene!r}; choose from {', '.join(SCENE_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    scene = build_scene(args.scene, scale)
+    save_trace(scene, args.path)
+    print(
+        f"wrote {scene.num_triangles} triangles "
+        f"({scene.width}x{scene.height}, {len(scene.textures)} textures) "
+        f"to {args.path}"
+    )
+    return 0
+
+
+def _replay_trace(args) -> int:
+    from repro.core.config import MachineConfig
+    from repro.core.machine import simulate_machine, single_processor_baseline
+    from repro.distribution.block import BlockInterleaved
+    from repro.geometry.trace import load_trace
+
+    if args.path is None:
+        print("error: replay-trace needs --path", file=sys.stderr)
+        return 2
+    scene = load_trace(args.path)
+    config = MachineConfig(
+        distribution=BlockInterleaved(args.processors, args.width)
+    )
+    baseline = single_processor_baseline(scene, config)
+    result = simulate_machine(scene, config, baseline_cycles=baseline)
+    print(result.summary())
+    return 0
+
+
+def _run_batch(args) -> int:
+    from repro.analysis.batch import run_batch_file
+
+    if args.path is None:
+        print("error: batch needs --path <campaign.json>", file=sys.stderr)
+        return 2
+    csv_out = None
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        csv_out = args.out / "batch.csv"
+    results = run_batch_file(args.path, csv_out=csv_out)
+    for result in results:
+        print(result.summary())
+    if csv_out is not None:
+        print(f"[wrote {csv_out}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    scale = args.scale if args.scale is not None else experiment_scale()
+    if not 0 < scale <= 1:
+        print(f"error: --scale must be in (0, 1], got {scale}", file=sys.stderr)
+        return 2
+
+    if args.experiment == "dump-trace":
+        return _dump_trace(args, scale)
+    if args.experiment == "replay-trace":
+        return _replay_trace(args)
+    if args.experiment == "batch":
+        return _run_batch(args)
+
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        known = ", ".join(list(EXPERIMENTS) + list(_COMMANDS))
+        print(
+            f"error: unknown experiment {args.experiment!r}; choose from {known}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in names:
+        _run_one(name, scale, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Event-driven machine: in-order distributor plus node processes.
+
+This is where the triangle-buffer study (Section 8 / Figure 8) happens.
+The geometry stage emits triangles in strict OpenGL order; each is
+pushed into the FIFO of every node its bounding box touches.  Because
+the stream is a single ordered sequence, ONE full FIFO blocks the
+distributor — and therefore starves every other node.  That head-of-line
+blocking is the "local load imbalance" a big buffer exists to hide.
+
+When a finite-rate geometry stage is configured, each triangle also
+carries a release time the distributor must wait for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bus.bus import BusModel
+from repro.core.node import triangle_service_time
+from repro.sim.fifo import BoundedFifo
+from repro.sim.kernel import Simulator
+
+#: FIFO sentinel: end of the triangle stream.
+_END = None
+
+#: Stream entry: (triangle id, node, pixels, texels).
+StreamEntry = Tuple[int, int, int, int]
+
+
+def _distributor_process(
+    sim: Simulator,
+    fifos: List[BoundedFifo],
+    stream: Sequence[StreamEntry],
+    release: Optional[np.ndarray],
+    stats: dict,
+):
+    """Generator feeding work items in strict submission order.
+
+    ``stats`` collects the head-of-line accounting: cycles the
+    distributor spent blocked on a full FIFO (``blocked_cycles``) and
+    which node blocked it most (``blocked_per_node``).
+    """
+    blocked_per_node = stats.setdefault(
+        "blocked_per_node", [0.0] * len(fifos)
+    )
+    for triangle, node, pixels, texels in stream:
+        if release is not None and sim.now < release[triangle]:
+            yield sim.timeout(release[triangle] - sim.now)
+        before = sim.now
+        yield fifos[node].put((pixels, texels))
+        waited = sim.now - before
+        if waited > 0:
+            stats["blocked_cycles"] = stats.get("blocked_cycles", 0.0) + waited
+            blocked_per_node[node] += waited
+    for fifo in fifos:
+        yield fifo.put(_END)
+
+
+def _node_process(
+    sim: Simulator,
+    fifo: BoundedFifo,
+    setup_cycles: int,
+    bus: BusModel,
+    finish_out: List[float],
+    node_id: int,
+):
+    """Generator draining one node's FIFO until the end sentinel."""
+    while True:
+        item = yield fifo.get()
+        if item is _END:
+            break
+        pixels, texels = item
+        end = triangle_service_time(sim.now, pixels, texels, setup_cycles, bus)
+        if end > sim.now:
+            yield sim.timeout(end - sim.now)
+        finish_out[node_id] = sim.now
+
+
+def interleave_stream(
+    triangles: List[np.ndarray],
+    pixels: List[np.ndarray],
+    texels: List[np.ndarray],
+) -> List[StreamEntry]:
+    """Merge per-node work lists back into global submission order.
+
+    Produces the distributor's stream of ``(triangle, node, pixels,
+    texels)`` entries, ordered by triangle id and, within one triangle,
+    by node id — the order a broadcast distribution network would emit.
+    """
+    entries: List[StreamEntry] = []
+    for node, ids in enumerate(triangles):
+        px = pixels[node]
+        tx = texels[node]
+        for slot, tri in enumerate(ids.tolist()):
+            entries.append((tri, node, int(px[slot]), int(tx[slot])))
+    entries.sort()
+    return entries
+
+
+def run_event_machine(
+    stream: Sequence[StreamEntry],
+    num_processors: int,
+    fifo_capacity: int,
+    setup_cycles: int,
+    bus_ratio: float,
+    release: Optional[np.ndarray] = None,
+    stats: Optional[dict] = None,
+) -> Tuple[float, List[float]]:
+    """Simulate the machine with finite FIFOs; returns (cycles, per-node finish).
+
+    ``release`` (per-triangle geometry release times) throttles the
+    distributor when a finite-rate geometry stage is modelled.
+    ``stats`` (optional dict) receives head-of-line accounting:
+    ``blocked_cycles``, ``blocked_per_node`` and ``fifo_high_water``.
+    """
+    sim = Simulator()
+    fifos = [
+        BoundedFifo(sim, fifo_capacity, name=f"tri-fifo-{n}")
+        for n in range(num_processors)
+    ]
+    finish = [0.0] * num_processors
+    processes = [
+        sim.process(
+            _node_process(sim, fifos[n], setup_cycles, BusModel(bus_ratio), finish, n),
+            name=f"node-{n}",
+        )
+        for n in range(num_processors)
+    ]
+    if stats is None:
+        stats = {}
+    processes.append(
+        sim.process(
+            _distributor_process(sim, fifos, stream, release, stats),
+            name="distributor",
+        )
+    )
+    total = sim.run_all(processes)
+    stats["fifo_high_water"] = [fifo.high_water for fifo in fifos]
+    return total, finish

@@ -1,0 +1,187 @@
+"""Triangle routing and per-node work extraction.
+
+Turns (scene, distribution) into per-node work lists: for every node,
+the triangles routed to it (bounding-box routing, in submission order)
+with the pixels it will draw of each and — once the cache replay has
+run — the texels each triangle pulls over the node's bus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.models import PerfectCache, make_cache_model
+from repro.cache.stats import CacheRunResult
+from repro.cache.stream import replay_fragments
+from repro.distribution.base import Distribution
+from repro.errors import ConfigurationError
+from repro.geometry.scene import Scene
+from repro.texture.filtering import TEXELS_PER_FRAGMENT, TrilinearFilter
+
+
+@dataclass
+class RoutedWork:
+    """Per-node work lists plus machine-wide cache statistics.
+
+    For node ``n``, ``triangles[n]``, ``pixels[n]`` and ``texels[n]``
+    are aligned arrays in submission order: triangle ids, pixels the
+    node draws of each, and bus texels each demands.  A routed triangle
+    can have zero pixels (its bounding box grazed a tile) — it still
+    costs a setup slot.
+    """
+
+    num_processors: int
+    triangles: List[np.ndarray]
+    pixels: List[np.ndarray]
+    texels: List[np.ndarray]
+    #: Pixels drawn per node (load-balance numerator).
+    node_pixels: np.ndarray
+    #: max(setup, pixels) summed per node: the Figure-5 work metric.
+    node_work: np.ndarray
+    #: Aggregate cache behaviour over all nodes (Figure-6 metric).
+    cache: CacheRunResult
+
+    def imbalance_percent(self) -> float:
+        """Percent extra work of the busiest node over the average."""
+        average = self.node_work.mean()
+        if average == 0:
+            return 0.0
+        return (self.node_work.max() / average - 1.0) * 100.0
+
+
+def route_triangles(scene: Scene, distribution: Distribution) -> List[np.ndarray]:
+    """Bounding-box routing: nodes each triangle is sent to, per triangle.
+
+    This is what a real sort-middle distributor computes — it may route
+    a triangle to a node whose tiles its box grazes without covering a
+    pixel; that node still pays the 25-cycle setup (the small-triangle
+    overhead of Section 2.3).
+    """
+    width, height = scene.width, scene.height
+    routed: List[np.ndarray] = []
+    for triangle in scene.triangles:
+        min_x, min_y, max_x, max_y = triangle.bounding_box()
+        x0 = min(width - 1, max(0, int(math.floor(min_x))))
+        y0 = min(height - 1, max(0, int(math.floor(min_y))))
+        x1 = min(width - 1, max(x0, int(math.ceil(max_x)) - 1))
+        y1 = min(height - 1, max(y0, int(math.ceil(max_y)) - 1))
+        routed.append(distribution.nodes_in_box(x0, y0, x1, y1))
+    return routed
+
+
+def route_by_coverage(
+    pixel_matrix: np.ndarray, num_triangles: int, num_processors: int
+) -> List[np.ndarray]:
+    """Exact-coverage routing: only nodes that draw >= 1 pixel.
+
+    The idealised contrast case for the routing ablation — it needs
+    oracle knowledge of the rasterisation, so no real distributor can
+    implement it, but it isolates how much the grazed-tile setup slots
+    of bounding-box routing cost.
+    """
+    routed: List[np.ndarray] = []
+    for tri_id in range(num_triangles):
+        row = pixel_matrix[tri_id * num_processors : (tri_id + 1) * num_processors]
+        routed.append(np.flatnonzero(row))
+    return routed
+
+
+def build_routed_work(
+    scene: Scene,
+    distribution: Distribution,
+    cache_spec="lru",
+    cache_config=None,
+    setup_cycles: int = 25,
+    chunk_size: Optional[int] = None,
+    layout=None,
+    route_by: str = "bbox",
+    fragments=None,
+) -> RoutedWork:
+    """Route a scene and replay every node's stream through its cache.
+
+    ``layout`` overrides the scene's default block-linear texture
+    layout (used by the texture-blocking ablation).  ``route_by`` is
+    ``"bbox"`` (realistic bounding-box routing, the default) or
+    ``"coverage"`` (oracle routing, the ablation contrast).
+    ``fragments`` overrides the scene's rasterisation — the early-Z
+    ablation passes the depth-resolved survivor stream here.
+    """
+    if route_by not in ("bbox", "coverage"):
+        raise ConfigurationError(f"route_by must be bbox or coverage, got {route_by!r}")
+    if fragments is None:
+        fragments = scene.fragments()
+    layout = layout or scene.memory_layout()
+    tex_filter = TrilinearFilter(layout)
+    n_proc = distribution.num_processors
+    n_tri = scene.num_triangles
+
+    owners = distribution.owners(fragments.x, fragments.y)
+    # Pixels drawn per (triangle, node).
+    key = fragments.triangle.astype(np.int64) * n_proc + owners
+    pixel_matrix = np.bincount(key, minlength=n_tri * n_proc)
+    node_pixels = np.bincount(owners, minlength=n_proc).astype(np.int64)
+
+    if route_by == "bbox":
+        routed = route_triangles(scene, distribution)
+    else:
+        routed = route_by_coverage(pixel_matrix, n_tri, n_proc)
+
+    probe_model = make_cache_model(cache_spec, cache_config)
+    total_cache = CacheRunResult(texels_by_triangle=np.zeros(n_tri, dtype=np.int64))
+    texels_per_node_tri: List[np.ndarray] = []
+    if isinstance(probe_model, PerfectCache):
+        # A perfect cache never fetches; skip the (expensive) replay.
+        total_cache.fragments = len(fragments)
+        total_cache.texel_accesses = len(fragments) * TEXELS_PER_FRAGMENT
+        total_cache.line_accesses = total_cache.texel_accesses
+        zero = np.zeros(n_tri, dtype=np.int64)
+        texels_per_node_tri = [zero for _ in range(n_proc)]
+    else:
+        # Per-node cache replay, in each node's own stream order.
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        starts = np.searchsorted(sorted_owners, np.arange(n_proc))
+        ends = np.searchsorted(sorted_owners, np.arange(n_proc) + 1)
+        for node in range(n_proc):
+            rows = order[starts[node] : ends[node]]
+            node_fragments = fragments.select(rows)
+            model = make_cache_model(cache_spec, cache_config)
+            if model.texels_per_fetch != 1:
+                # Line fills carry however many texels the layout's
+                # texel format packs into 64 bytes.
+                model.texels_per_fetch = layout.texels_per_line
+            seen = np.zeros(layout.total_lines, dtype=bool)
+            kwargs = {"chunk_size": chunk_size} if chunk_size else {}
+            run = replay_fragments(node_fragments, tex_filter, model, seen_lines=seen, **kwargs)
+            total_cache = total_cache.merged_with(run)
+            texels_per_node_tri.append(run.texels_by_triangle)
+
+    triangles: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
+    pixels: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
+    texels: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
+    per_node_ids: List[List[int]] = [[] for _ in range(n_proc)]
+    for tri_id, nodes in enumerate(routed):
+        for node in nodes:
+            per_node_ids[int(node)].append(tri_id)
+    node_work = np.zeros(n_proc, dtype=np.int64)
+    for node in range(n_proc):
+        ids = np.asarray(per_node_ids[node], dtype=np.int64)
+        triangles[node] = ids
+        if len(ids):
+            pixels[node] = pixel_matrix[ids * n_proc + node]
+            texels[node] = texels_per_node_tri[node][ids]
+            node_work[node] = np.maximum(pixels[node], setup_cycles).sum()
+
+    return RoutedWork(
+        num_processors=n_proc,
+        triangles=triangles,
+        pixels=pixels,
+        texels=texels,
+        node_pixels=node_pixels,
+        node_work=node_work,
+        cache=total_cache,
+    )

@@ -1,0 +1,29 @@
+"""Image-space work distributions.
+
+The design space the paper explores: how the screen is cut into tiles
+and statically, interleaved, assigned to texture-mapping processors.
+Two families matter — square-block interleaving and scan-line
+interleaving (SLI) — plus degenerate/contrast cases used by tests and
+ablations.
+"""
+
+from repro.distribution.base import Distribution
+from repro.distribution.block import BlockInterleaved
+from repro.distribution.sli import ScanLineInterleaved
+from repro.distribution.contiguous import ContiguousBands
+from repro.distribution.single import SingleProcessor
+from repro.distribution.assigned import AssignedTiles, TileGrid, lpt_assignment
+from repro.distribution.morton import MortonInterleaved, morton_index
+
+__all__ = [
+    "Distribution",
+    "BlockInterleaved",
+    "ScanLineInterleaved",
+    "ContiguousBands",
+    "SingleProcessor",
+    "TileGrid",
+    "AssignedTiles",
+    "lpt_assignment",
+    "MortonInterleaved",
+    "morton_index",
+]

@@ -1,0 +1,39 @@
+"""Non-interleaved contiguous bands — the ablation contrast case.
+
+The paper's distributions are always interleaved; this class switches
+interleaving *off* (each processor gets one contiguous horizontal slab
+of the screen) so benchmarks can quantify how much of the load balance
+interleaving is actually buying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.errors import ConfigurationError
+
+
+class ContiguousBands(Distribution):
+    """Split ``screen_height`` scanlines into N equal contiguous bands."""
+
+    def __init__(self, num_processors: int, screen_height: int) -> None:
+        super().__init__(num_processors)
+        if screen_height < num_processors:
+            raise ConfigurationError(
+                f"cannot split {screen_height} lines over {num_processors} processors"
+            )
+        self.screen_height = screen_height
+
+    def owners(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.int64)
+        owners = y * self.num_processors // self.screen_height
+        return np.clip(owners, 0, self.num_processors - 1)
+
+    def nodes_in_box(self, x0: int, y0: int, x1: int, y1: int) -> np.ndarray:
+        first = int(min(y0, self.screen_height - 1) * self.num_processors // self.screen_height)
+        last = int(min(y1, self.screen_height - 1) * self.num_processors // self.screen_height)
+        return np.arange(first, last + 1)
+
+    def describe(self) -> str:
+        return f"bands{self.num_processors}"

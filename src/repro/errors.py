@@ -1,0 +1,21 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, scene or distribution parameter is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No event is pending but at least one process is still blocked."""
+
+
+class TraceFormatError(ReproError):
+    """A triangle trace file is malformed."""

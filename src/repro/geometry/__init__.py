@@ -1,0 +1,35 @@
+"""Geometry substrate: screen-space triangles, scenes and traces.
+
+The paper drives its simulator with triangle traces extracted from an
+instrumented Mesa.  This package defines the equivalent trace format:
+screen-space textured triangles, already transformed and projected, in
+strict submission (OpenGL) order.
+"""
+
+from repro.geometry.vertex import Vertex
+from repro.geometry.triangle import Triangle
+from repro.geometry.scene import Scene, SceneStatistics
+from repro.geometry.trace import load_trace, save_trace
+from repro.geometry.transform import (
+    Camera,
+    Triangle3D,
+    Vertex3D,
+    project_triangle,
+    project_triangles,
+    textured_quad_3d,
+)
+
+__all__ = [
+    "Vertex",
+    "Triangle",
+    "Scene",
+    "SceneStatistics",
+    "load_trace",
+    "save_trace",
+    "Camera",
+    "Vertex3D",
+    "Triangle3D",
+    "project_triangle",
+    "project_triangles",
+    "textured_quad_3d",
+]

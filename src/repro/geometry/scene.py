@@ -1,0 +1,122 @@
+"""A scene: a screen, a texture table and an ordered triangle trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.triangle import Triangle
+from repro.texture.texture import MipmappedTexture
+
+
+@dataclass(frozen=True)
+class SceneStatistics:
+    """The Table-1 characterisation of a scene.
+
+    ``pixels_rendered`` counts every drawn fragment (overdraw included —
+    the paper simulates no Z-buffer), so ``depth_complexity`` is simply
+    pixels rendered divided by the screen area.
+    """
+
+    name: str
+    screen_width: int
+    screen_height: int
+    pixels_rendered: int
+    depth_complexity: float
+    num_triangles: int
+    num_textures: int
+    texture_bytes: int
+    unique_texel_to_fragment: float
+
+    @property
+    def texture_megabytes(self) -> float:
+        return self.texture_bytes / (1024.0 * 1024.0)
+
+    @property
+    def pixels_per_triangle(self) -> float:
+        if self.num_triangles == 0:
+            return 0.0
+        return self.pixels_rendered / self.num_triangles
+
+
+class Scene:
+    """An ordered triangle trace plus the textures it samples.
+
+    Triangle order is the strict OpenGL submission order; the
+    sort-middle machine must preserve it, and the triangle distributor
+    replays it verbatim.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        height: int,
+        textures: Sequence[MipmappedTexture],
+        triangles: Optional[Sequence[Triangle]] = None,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError(f"screen must be at least 1x1, got {width}x{height}")
+        if not textures:
+            raise ConfigurationError("a scene needs at least one texture")
+        self.name = name
+        self.width = width
+        self.height = height
+        self.textures: List[MipmappedTexture] = list(textures)
+        self.triangles: List[Triangle] = []
+        for triangle in triangles or ():
+            self.add(triangle)
+        # Lazily-filled rasterisation / layout caches.
+        self._fragments = None
+        self._layout = None
+
+    def add(self, triangle: Triangle) -> None:
+        """Append a triangle, validating its texture reference."""
+        if triangle.texture >= len(self.textures):
+            raise ConfigurationError(
+                f"triangle references texture {triangle.texture}, "
+                f"scene has {len(self.textures)}"
+            )
+        self.triangles.append(triangle)
+        self._fragments = None
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.triangles)
+
+    @property
+    def screen_pixels(self) -> int:
+        return self.width * self.height
+
+    def texture_bytes(self) -> int:
+        """Total texture-memory footprint including mipmap pyramids."""
+        return sum(texture.total_bytes() for texture in self.textures)
+
+    def fragments(self):
+        """Rasterise (once) and return the scene's FragmentBuffer."""
+        if self._fragments is None:
+            from repro.raster.raster import rasterize_scene
+
+            self._fragments = rasterize_scene(self)
+        return self._fragments
+
+    def memory_layout(self):
+        """Block-linear texture-memory layout shared by every node."""
+        if self._layout is None:
+            from repro.texture.layout import TextureMemoryLayout
+
+            self._layout = TextureMemoryLayout(self.textures)
+        return self._layout
+
+    def statistics(self) -> SceneStatistics:
+        """Compute the scene's Table-1 row (rasterises if needed)."""
+        from repro.analysis.characterize import characterize_scene
+
+        return characterize_scene(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scene({self.name!r}, {self.width}x{self.height}, "
+            f"{self.num_triangles} triangles, {len(self.textures)} textures)"
+        )

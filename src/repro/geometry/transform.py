@@ -1,0 +1,236 @@
+"""3D geometry processing: the pipeline stage in front of the trace.
+
+The paper's machine receives *transformed* screen-space triangles from
+an ideal geometry stage.  This module implements that stage so scenes
+can be authored in 3D — model/view/projection transforms, near-plane
+clipping, backface culling and viewport mapping, i.e. the OpenGL
+vertex-processing path — and then captured as an ordinary triangle
+trace for the texture-mapping simulator.
+
+Conventions: right-handed world space, camera looking down -Z in eye
+space, y-down screen space (matching the rasterizer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.triangle import Triangle
+from repro.geometry.vertex import Vertex
+
+
+@dataclass(frozen=True)
+class Vertex3D:
+    """A world-space vertex with level-0 texel coordinates."""
+
+    x: float
+    y: float
+    z: float
+    u: float = 0.0
+    v: float = 0.0
+
+    def position(self) -> np.ndarray:
+        return np.array([self.x, self.y, self.z, 1.0])
+
+
+@dataclass(frozen=True)
+class Triangle3D:
+    """A textured world-space triangle."""
+
+    v0: Vertex3D
+    v1: Vertex3D
+    v2: Vertex3D
+    texture: int = 0
+
+    @property
+    def vertices(self) -> Tuple[Vertex3D, Vertex3D, Vertex3D]:
+        return (self.v0, self.v1, self.v2)
+
+
+def look_at(eye: Sequence[float], target: Sequence[float], up: Sequence[float] = (0, 1, 0)) -> np.ndarray:
+    """View matrix placing the camera at ``eye`` looking at ``target``."""
+    eye = np.asarray(eye, dtype=float)
+    target = np.asarray(target, dtype=float)
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ConfigurationError("camera eye and target coincide")
+    forward /= norm
+    right = np.cross(forward, np.asarray(up, dtype=float))
+    right_norm = np.linalg.norm(right)
+    if right_norm < 1e-12:
+        raise ConfigurationError("camera up vector is parallel to the view direction")
+    right /= right_norm
+    true_up = np.cross(right, forward)
+    view = np.eye(4)
+    view[0, :3] = right
+    view[1, :3] = true_up
+    view[2, :3] = -forward
+    view[:3, 3] = -view[:3, :3] @ eye
+    return view
+
+
+def perspective(fov_y_degrees: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """OpenGL-style perspective projection matrix."""
+    if not 0 < fov_y_degrees < 180:
+        raise ConfigurationError(f"field of view must be in (0, 180), got {fov_y_degrees}")
+    if near <= 0 or far <= near:
+        raise ConfigurationError(f"need 0 < near < far, got near={near}, far={far}")
+    f = 1.0 / math.tan(math.radians(fov_y_degrees) / 2.0)
+    projection = np.zeros((4, 4))
+    projection[0, 0] = f / aspect
+    projection[1, 1] = f
+    projection[2, 2] = (far + near) / (near - far)
+    projection[2, 3] = 2 * far * near / (near - far)
+    projection[3, 2] = -1.0
+    return projection
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera plus viewport, i.e. the whole vertex pipeline."""
+
+    eye: Tuple[float, float, float]
+    target: Tuple[float, float, float]
+    fov_y_degrees: float
+    viewport_width: int
+    viewport_height: int
+    near: float = 0.1
+    far: float = 1000.0
+    up: Tuple[float, float, float] = (0.0, 1.0, 0.0)
+
+    def matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        view = look_at(self.eye, self.target, self.up)
+        projection = perspective(
+            self.fov_y_degrees,
+            self.viewport_width / self.viewport_height,
+            self.near,
+            self.far,
+        )
+        return view, projection
+
+
+def _to_screen(clip: np.ndarray, u: float, v: float, width: int, height: int) -> Vertex:
+    ndc = clip[:3] / clip[3]
+    x = (ndc[0] + 1.0) * 0.5 * width
+    # NDC y is up; screen y is down.
+    y = (1.0 - ndc[1]) * 0.5 * height
+    # NDC z in [-1 (near), 1 (far)] maps to screen depth [0, 1].
+    z = (ndc[2] + 1.0) * 0.5
+    return Vertex(x, y, u, v, z)
+
+
+def _clip_near(
+    vertices: List[Tuple[np.ndarray, float, float]],
+) -> List[Tuple[np.ndarray, float, float]]:
+    """Clip a clip-space polygon against the near plane (w > epsilon).
+
+    Texture coordinates interpolate linearly in clip space before the
+    divide, which is the correct (perspective-aware) interpolation.
+    """
+    epsilon = 1e-6
+    output: List[Tuple[np.ndarray, float, float]] = []
+    for index, current in enumerate(vertices):
+        previous = vertices[index - 1]
+        cur_in = current[0][3] > epsilon and current[0][2] >= -current[0][3]
+        prev_in = previous[0][3] > epsilon and previous[0][2] >= -previous[0][3]
+        if cur_in != prev_in:
+            # Intersect with z = -w.
+            pz, pw = previous[0][2], previous[0][3]
+            cz, cw = current[0][2], current[0][3]
+            denominator = (pz + pw) - (cz + cw)
+            t = (pz + pw) / denominator if abs(denominator) > epsilon else 0.5
+            clip = previous[0] + t * (current[0] - previous[0])
+            u = previous[1] + t * (current[1] - previous[1])
+            v = previous[2] + t * (current[2] - previous[2])
+            output.append((clip, u, v))
+        if cur_in:
+            output.append(current)
+    return output
+
+
+def project_triangle(
+    triangle: Triangle3D, camera: Camera, cull_backfaces: bool = True
+) -> List[Triangle]:
+    """Transform one world triangle into 0..2 screen triangles.
+
+    Returns an empty list when the triangle is culled (behind the
+    camera or backfacing); near-plane clipping can split a triangle
+    into two.
+    """
+    view, projection = camera.matrices()
+    matrix = projection @ view
+    clip_vertices = [
+        (matrix @ vertex.position(), vertex.u, vertex.v)
+        for vertex in triangle.vertices
+    ]
+    polygon = _clip_near(clip_vertices)
+    if len(polygon) < 3:
+        return []
+    screen = [
+        _to_screen(clip, u, v, camera.viewport_width, camera.viewport_height)
+        for clip, u, v in polygon
+    ]
+    result: List[Triangle] = []
+    for index in range(1, len(screen) - 1):
+        candidate = Triangle(
+            screen[0], screen[index], screen[index + 1], texture=triangle.texture
+        )
+        if candidate.is_degenerate():
+            continue
+        if cull_backfaces and candidate.signed_area() < 0:
+            continue
+        result.append(candidate)
+    return result
+
+
+def project_triangles(
+    triangles: Sequence[Triangle3D],
+    camera: Camera,
+    cull_backfaces: bool = True,
+) -> List[Triangle]:
+    """Run the vertex pipeline over a whole 3D object list, in order."""
+    screen: List[Triangle] = []
+    for triangle in triangles:
+        screen.extend(project_triangle(triangle, camera, cull_backfaces))
+    return screen
+
+
+def textured_quad_3d(
+    corner: Sequence[float],
+    edge_u: Sequence[float],
+    edge_v: Sequence[float],
+    texture: int = 0,
+    texel_scale: float = 1.0,
+    u_origin: float = 0.0,
+    v_origin: float = 0.0,
+) -> List[Triangle3D]:
+    """Two world-space triangles forming a textured parallelogram.
+
+    ``edge_u``/``edge_v`` span the surface; texture coordinates advance
+    ``texel_scale`` texels per world unit along each edge.  Winding is
+    counter-clockwise seen from the ``edge_u`` x ``edge_v`` normal side.
+    """
+    corner = np.asarray(corner, dtype=float)
+    edge_u = np.asarray(edge_u, dtype=float)
+    edge_v = np.asarray(edge_v, dtype=float)
+    du = float(np.linalg.norm(edge_u)) * texel_scale
+    dv = float(np.linalg.norm(edge_v)) * texel_scale
+
+    def vert(su: float, sv: float) -> Vertex3D:
+        position = corner + su * edge_u + sv * edge_v
+        return Vertex3D(
+            position[0], position[1], position[2],
+            u_origin + su * du, v_origin + sv * dv,
+        )
+
+    v00, v10, v01, v11 = vert(0, 0), vert(1, 0), vert(0, 1), vert(1, 1)
+    return [
+        Triangle3D(v00, v10, v01, texture=texture),
+        Triangle3D(v10, v11, v01, texture=texture),
+    ]

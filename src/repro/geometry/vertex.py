@@ -1,0 +1,34 @@
+"""Screen-space vertex with texture coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A post-transform vertex.
+
+    Attributes
+    ----------
+    x, y:
+        Screen position in pixels.  The pixel at integer coordinates
+        ``(i, j)`` has its centre at ``(i + 0.5, j + 0.5)``.
+    u, v:
+        Texture coordinates in *level-0 texel units* (not normalised).
+        Values outside ``[0, width)`` wrap, i.e. ``GL_REPEAT``.
+    z:
+        Screen-space depth (smaller is closer).  The paper's machine
+        never consults it — the Z-buffer sits after texturing and is
+        not simulated — but the early-Z ablation does.
+    """
+
+    x: float
+    y: float
+    u: float = 0.0
+    v: float = 0.0
+    z: float = 0.0
+
+    def translated(self, dx: float, dy: float) -> "Vertex":
+        """Return a copy moved by ``(dx, dy)`` in screen space."""
+        return Vertex(self.x + dx, self.y + dy, self.u, self.v, self.z)

@@ -1,0 +1,28 @@
+"""Software rendering back end.
+
+The cache study never needs texel *values*, but an adoptable 3D-engine
+simulator should be able to show its frames — and actually computing
+the trilinear filter arithmetic gives the texture substrate golden
+tests (sampling a gradient must reproduce the gradient).  This package
+adds procedural texture contents and a framebuffer renderer on top of
+the existing rasterizer/filter machinery.
+"""
+
+from repro.render.procedural import (
+    CheckerTexture,
+    GradientTexture,
+    NoiseTexture,
+    ProceduralTexture,
+    default_palette,
+)
+from repro.render.framebuffer import render_node_views, render_scene
+
+__all__ = [
+    "ProceduralTexture",
+    "CheckerTexture",
+    "GradientTexture",
+    "NoiseTexture",
+    "default_palette",
+    "render_scene",
+    "render_node_views",
+]

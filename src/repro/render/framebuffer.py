@@ -1,0 +1,163 @@
+"""Framebuffer rendering: fragments -> trilinear-filtered pixels.
+
+Implements the same sampling the cache model traces — 2x2 bilinear
+footprints on two adjacent mipmap levels, blended by the fractional
+level of detail — but with actual texel values, producing an image.
+Hidden surfaces resolve with the Z-buffer (closest fragment wins).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.scene import Scene
+from repro.render.procedural import ProceduralTexture, default_palette
+
+
+def _fractional_lod(scene: Scene) -> np.ndarray:
+    """Per-triangle fractional LOD (log2 of the texel:pixel scale)."""
+    lod = np.zeros(scene.num_triangles)
+    for index, triangle in enumerate(scene.triangles):
+        scale = triangle.texel_to_pixel_scale()
+        lod[index] = math.log2(scale) if scale > 1.0 else 0.0
+    return lod
+
+
+def _sample_level(
+    contents: Sequence[ProceduralTexture],
+    scene: Scene,
+    texture_ids: np.ndarray,
+    level: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Bilinear sample of one mip level per fragment; shape (n, 3)."""
+    widths = np.array([t.width for t in scene.textures], dtype=np.int64)
+    heights = np.array([t.height for t in scene.textures], dtype=np.int64)
+    levels_max = np.array(
+        [t.num_levels - 1 for t in scene.textures], dtype=np.int64
+    )
+    level = np.minimum(level, levels_max[texture_ids])
+    width = np.maximum(widths[texture_ids] >> level, 1)
+    height = np.maximum(heights[texture_ids] >> level, 1)
+
+    scale = np.ldexp(1.0, -level.astype(np.int32))
+    ul = u * scale - 0.5
+    vl = v * scale - 0.5
+    i0 = np.floor(ul).astype(np.int64)
+    j0 = np.floor(vl).astype(np.int64)
+    fu = (ul - i0)[:, None]
+    fv = (vl - j0)[:, None]
+
+    color = np.zeros((len(u), 3))
+    for di, dj, weight in (
+        (0, 0, (1 - fu) * (1 - fv)),
+        (1, 0, fu * (1 - fv)),
+        (0, 1, (1 - fu) * fv),
+        (1, 1, fu * fv),
+    ):
+        i = (i0 + di) % width
+        j = (j0 + dj) % height
+        # Per-texture dispatch (procedural contents differ per id).
+        for tex_id in np.unique(texture_ids):
+            mask = texture_ids == tex_id
+            color[mask] += weight[mask] * contents[tex_id].texel_colors(
+                level[mask], i[mask], j[mask], width[mask], height[mask]
+            )
+    return color
+
+
+def render_scene(
+    scene: Scene,
+    contents: Optional[Sequence[ProceduralTexture]] = None,
+    background: Tuple[float, float, float] = (0.05, 0.05, 0.08),
+    depth_test: bool = True,
+) -> np.ndarray:
+    """Render one frame; returns an ``(height, width, 3)`` uint8 image.
+
+    ``contents`` assigns a procedural texture to each entry of the
+    scene's texture table (defaults to a generated palette).  With
+    ``depth_test`` the closest fragment per pixel wins; without it, the
+    last submitted wins (painter's order).
+    """
+    if contents is None:
+        contents = default_palette(len(scene.textures))
+    if len(contents) < len(scene.textures):
+        raise ConfigurationError(
+            f"scene has {len(scene.textures)} textures, palette only {len(contents)}"
+        )
+    fragments = scene.fragments()
+    image = np.empty((scene.height, scene.width, 3))
+    image[:, :] = np.asarray(background, dtype=float)
+    if len(fragments) == 0:
+        return (image * 255).astype(np.uint8)
+
+    pixel = fragments.y.astype(np.int64) * scene.width + fragments.x
+    if depth_test:
+        # Closest-z fragment per pixel, later submission breaking ties:
+        # stable-sort by (pixel, z) and keep each pixel's first entry —
+        # sorting is stable, so equal depths keep submission order and
+        # we take the *first* (the one that passed GL_LESS).
+        order = np.lexsort((np.arange(len(fragments)), fragments.z, pixel))
+        sorted_pixel = pixel[order]
+        keep = np.ones(len(order), dtype=bool)
+        keep[1:] = sorted_pixel[1:] != sorted_pixel[:-1]
+        chosen = order[keep]
+    else:
+        # Painter: last submitted fragment per pixel.
+        order = np.lexsort((np.arange(len(fragments)), pixel))
+        sorted_pixel = pixel[order]
+        last = np.ones(len(order), dtype=bool)
+        last[:-1] = sorted_pixel[1:] != sorted_pixel[:-1]
+        chosen = order[last]
+
+    chosen_fragments = fragments.select(chosen)
+    lod = _fractional_lod(scene)[chosen_fragments.triangle]
+    base_level = np.floor(lod).astype(np.int64)
+    frac = (lod - base_level)[:, None]
+
+    texture_ids = chosen_fragments.texture.astype(np.int64)
+    lower = _sample_level(
+        contents, scene, texture_ids, base_level,
+        chosen_fragments.u, chosen_fragments.v,
+    )
+    upper = _sample_level(
+        contents, scene, texture_ids, base_level + 1,
+        chosen_fragments.u, chosen_fragments.v,
+    )
+    color = lower * (1 - frac) + upper * frac
+
+    image.reshape(-1, 3)[pixel[chosen]] = np.clip(color, 0.0, 1.0)
+    return (image * 255 + 0.5).astype(np.uint8)
+
+
+def render_node_views(
+    scene: Scene,
+    distribution,
+    contents: Optional[Sequence[ProceduralTexture]] = None,
+    background: Tuple[float, float, float] = (0.05, 0.05, 0.08),
+) -> list:
+    """One partial framebuffer per processor of a sort-middle machine.
+
+    Each node's image contains exactly the pixels its tiles own —
+    composited together they reproduce :func:`render_scene`'s frame,
+    which is what the machine's (ideal) video merge does.  Useful for
+    visualising a distribution on real content.
+    """
+    full = render_scene(scene, contents, background=background)
+    owners = distribution.owner_map(scene.width, scene.height)
+    background_row = np.clip(
+        np.asarray(background, dtype=float) * 255 + 0.5, 0, 255
+    ).astype(np.uint8)
+    views = []
+    for node in range(distribution.num_processors):
+        view = np.empty_like(full)
+        view[:, :] = background_row
+        mask = owners == node
+        view[mask] = full[mask]
+        views.append(view)
+    return views

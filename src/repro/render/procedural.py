@@ -1,0 +1,119 @@
+"""Procedural texture contents.
+
+Texel values are pure functions of (level, i, j), so no texture memory
+is ever allocated — mipmap levels are generated analytically (each
+level samples the same underlying pattern at its own frequency, which
+is exactly what a correct box-filtered pyramid converges to for these
+patterns).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ProceduralTexture(ABC):
+    """Texel colours as a vectorised function of level-local coords."""
+
+    @abstractmethod
+    def texel_colors(
+        self, level: np.ndarray, i: np.ndarray, j: np.ndarray,
+        width: np.ndarray, height: np.ndarray,
+    ) -> np.ndarray:
+        """RGB in [0, 1] for texels ``(i, j)`` of the given mip levels.
+
+        ``width``/``height`` are the level dimensions, elementwise.
+        Returns shape ``(n, 3)``.
+        """
+
+
+class CheckerTexture(ProceduralTexture):
+    """A two-colour checkerboard with ``checks`` squares per edge."""
+
+    def __init__(
+        self,
+        color_a: Tuple[float, float, float] = (0.9, 0.9, 0.85),
+        color_b: Tuple[float, float, float] = (0.2, 0.25, 0.3),
+        checks: int = 8,
+    ) -> None:
+        if checks < 1:
+            raise ConfigurationError(f"need at least 1 check, got {checks}")
+        self.color_a = np.asarray(color_a, dtype=float)
+        self.color_b = np.asarray(color_b, dtype=float)
+        self.checks = checks
+
+    def texel_colors(self, level, i, j, width, height):
+        # Normalised coordinates keep the pattern stable across levels.
+        u = (i + 0.5) / np.maximum(width, 1)
+        v = (j + 0.5) / np.maximum(height, 1)
+        cell = (np.floor(u * self.checks) + np.floor(v * self.checks)) % 2
+        # Deep levels average out to the mean, like a filtered pyramid.
+        blend = np.clip(level / 6.0, 0.0, 1.0)[:, None]
+        mean = 0.5 * (self.color_a + self.color_b)
+        base = np.where(cell[:, None] == 0, self.color_a, self.color_b)
+        return base * (1 - blend) + mean * blend
+
+
+class GradientTexture(ProceduralTexture):
+    """Red ramps with u, green with v — the filtering oracle.
+
+    Because the pattern is linear in (u, v), any correct bilinear or
+    trilinear filter must reproduce it exactly; tests rely on this.
+    """
+
+    def texel_colors(self, level, i, j, width, height):
+        u = (i + 0.5) / np.maximum(width, 1)
+        v = (j + 0.5) / np.maximum(height, 1)
+        blue = np.full_like(u, 0.25)
+        return np.stack([u, v, blue], axis=-1)
+
+
+class NoiseTexture(ProceduralTexture):
+    """Deterministic hash-noise (think stone/dirt) with a base tint."""
+
+    def __init__(self, tint: Tuple[float, float, float] = (0.55, 0.45, 0.35), seed: int = 0) -> None:
+        self.tint = np.asarray(tint, dtype=float)
+        self.seed = seed
+
+    def texel_colors(self, level, i, j, width, height):
+        # Integer hash (xorshift-like) on the normalised lattice so the
+        # pattern is level-coherent.
+        scale = np.maximum(width, 1)
+        key = (
+            (i.astype(np.uint64) * np.uint64(0x9E3779B1))
+            ^ (j.astype(np.uint64) * np.uint64(0x85EBCA77))
+            ^ ((level.astype(np.uint64) + np.uint64(self.seed)) * np.uint64(0xC2B2AE3D))
+            ^ scale.astype(np.uint64)
+        )
+        key ^= key >> np.uint64(15)
+        key = key * np.uint64(0x2C1B3C6D) & np.uint64(0xFFFFFFFF)
+        key ^= key >> np.uint64(12)
+        noise = (key & np.uint64(0xFFFF)).astype(float) / 65535.0
+        brightness = 0.6 + 0.4 * noise
+        return np.clip(self.tint[None, :] * brightness[:, None], 0.0, 1.0)
+
+
+def default_palette(count: int, seed: int = 0) -> List[ProceduralTexture]:
+    """A varied texture set for rendering any scene's texture table."""
+    if count < 1:
+        raise ConfigurationError("palette needs at least one texture")
+    rng = np.random.default_rng(seed)
+    palette: List[ProceduralTexture] = []
+    for index in range(count):
+        kind = index % 3
+        if kind == 0:
+            colors = rng.uniform(0.2, 0.95, size=(2, 3))
+            palette.append(
+                CheckerTexture(tuple(colors[0]), tuple(colors[1]),
+                               checks=int(rng.choice([4, 8, 16])))
+            )
+        elif kind == 1:
+            palette.append(GradientTexture())
+        else:
+            palette.append(NoiseTexture(tuple(rng.uniform(0.3, 0.8, size=3)), seed=index))
+    return palette

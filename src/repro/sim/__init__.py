@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+This package is the project's substitute for ASF, the C++ event-driven
+simulation framework the paper's simulator was built on.  It provides a
+cycle-resolution simulation clock, generator-based processes, one-shot
+events and blocking bounded FIFOs — everything the parallel machine model
+in :mod:`repro.core` needs.
+"""
+
+from repro.sim.kernel import Event, Process, Simulator, Timeout
+from repro.sim.fifo import BoundedFifo
+
+__all__ = ["Event", "Process", "Simulator", "Timeout", "BoundedFifo"]

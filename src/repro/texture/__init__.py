@@ -1,0 +1,19 @@
+"""Texture memory substrate.
+
+Models mipmapped textures stored block-linear in the node's private
+texture SDRAM, following the organisation of Hakura & Gupta that the
+paper adopts: 4x4-texel blocks, 4 bytes per texel, so one block is
+exactly one 64-byte cache line.
+"""
+
+from repro.texture.texture import MipmapLevel, MipmappedTexture
+from repro.texture.layout import TextureMemoryLayout
+from repro.texture.filtering import TrilinearFilter, TEXELS_PER_FRAGMENT
+
+__all__ = [
+    "MipmapLevel",
+    "MipmappedTexture",
+    "TextureMemoryLayout",
+    "TrilinearFilter",
+    "TEXELS_PER_FRAGMENT",
+]

@@ -1,0 +1,97 @@
+"""Trilinear filter footprint generation.
+
+Drawing one pixel with trilinear mipmapped filtering reads a 2x2 bilinear
+footprint from each of two adjacent mipmap levels — the eight texels per
+fragment the paper's bandwidth arithmetic is built on.  This module
+turns fragment batches into the exact sequence of cache-line addresses
+the texture cache sees, in scan order.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.texture.layout import TextureMemoryLayout
+
+#: Trilinear filtering reads 8 texels per drawn fragment.
+TEXELS_PER_FRAGMENT = 8
+
+
+class TrilinearFilter:
+    """Generates trilinear texel footprints against a memory layout."""
+
+    def __init__(self, layout: TextureMemoryLayout) -> None:
+        self.layout = layout
+
+    def _bilinear_corners(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        levels: np.ndarray,
+        texture_ids: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Wrapped integer corner coordinates ``(i0, i1, j0, j1)``.
+
+        ``u``/``v`` are level-0 texel coordinates; they are scaled into
+        the requested level, offset by the half-texel bilinear rule and
+        wrapped (GL_REPEAT).
+        """
+        slots = self.layout.slot(texture_ids, levels)
+        width = self.layout.level_width[slots]
+        height = self.layout.level_height[slots]
+        scale = np.ldexp(1.0, -levels.astype(np.int32))
+        ul = u * scale - 0.5
+        vl = v * scale - 0.5
+        i0 = np.floor(ul).astype(np.int64) % width
+        j0 = np.floor(vl).astype(np.int64) % height
+        i1 = (i0 + 1) % width
+        j1 = (j0 + 1) % height
+        return i0, i1, j0, j1
+
+    def _footprint(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        levels: np.ndarray,
+        texture_ids: np.ndarray,
+        address_fn,
+    ) -> np.ndarray:
+        """Stack the eight per-fragment addresses, shape ``(n, 8)``.
+
+        Within a fragment the order is the hardware's natural one: the
+        four corners of the lower (finer) level, then the four corners of
+        the next level.
+        """
+        n = len(u)
+        upper = np.minimum(levels + 1, self.layout.num_levels[texture_ids] - 1)
+        out = np.empty((n, TEXELS_PER_FRAGMENT), dtype=np.int64)
+        for half, lvl in enumerate((levels, upper)):
+            i0, i1, j0, j1 = self._bilinear_corners(u, v, lvl, texture_ids)
+            base = half * 4
+            out[:, base + 0] = address_fn(texture_ids, lvl, i0, j0)
+            out[:, base + 1] = address_fn(texture_ids, lvl, i1, j0)
+            out[:, base + 2] = address_fn(texture_ids, lvl, i0, j1)
+            out[:, base + 3] = address_fn(texture_ids, lvl, i1, j1)
+        return out
+
+    def line_addresses(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        levels: np.ndarray,
+        texture_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Cache-line address of each of the 8 texels, shape ``(n, 8)``."""
+        return self._footprint(u, v, levels, texture_ids, self.layout.line_address)
+
+    def texel_addresses(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        levels: np.ndarray,
+        texture_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Globally unique id of each of the 8 texels, shape ``(n, 8)``."""
+        return self._footprint(u, v, levels, texture_ids, self.layout.texel_address)

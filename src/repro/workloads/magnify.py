@@ -1,0 +1,52 @@
+"""Texture magnification removal (the Igehy et al. scheme).
+
+Quake-era games allocate small textures, so many appear magnified on
+screen; magnified textures have an artificially high cache locality
+that the paper deems unrepresentative of future workloads.  The fix
+(Section 4.2): multiply the texture's width and height by a power of
+two and scale the texture coordinates to match, restoring a realistic
+texel-to-pixel scale.  Mipmapped minified textures are unaffected.
+
+In this parametric reproduction the scheme acts on a
+:class:`~repro.workloads.generator.SceneSpec`: texture edges and the
+texel scale are both multiplied by the factor, which is exactly what
+enlarging every magnified texture does to the generator's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import SceneSpec
+
+
+def remove_magnification(spec: SceneSpec, factor: int) -> SceneSpec:
+    """Return ``spec`` with magnification reduced by ``factor``.
+
+    ``factor`` must be a power of two (texture edges must stay powers
+    of two).  Texel scales already at or above 1 texel/pixel would be
+    pushed into deeper minification, mirroring how the paper's scheme
+    "only affects textures that are magnified" — mipmapping keeps the
+    cache behaviour of minified textures unchanged, so we leave any
+    mapping already minified (scale >= 1) alone.
+    """
+    if factor < 1 or factor & (factor - 1):
+        raise ConfigurationError(f"magnification factor must be a power of two, got {factor}")
+    if factor == 1 or spec.texel_scale >= 1.0:
+        return spec
+    applied = min(factor, _next_power_of_two(1.0 / spec.texel_scale))
+    edges = tuple((edge * applied, weight) for edge, weight in spec.texture_edges)
+    return replace(
+        spec,
+        name=f"{spec.name}_x{factor}",
+        texture_edges=edges,
+        texel_scale=spec.texel_scale * applied,
+    )
+
+
+def _next_power_of_two(value: float) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power

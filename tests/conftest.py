@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic scenes and machines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.scene import Scene
+from repro.geometry.triangle import Triangle
+from repro.geometry.vertex import Vertex
+from repro.texture.texture import MipmappedTexture
+
+
+def quad(x0: float, y0: float, size: float, texture: int = 0, u0: float = 0.0,
+         v0: float = 0.0, texel_scale: float = 1.0) -> list:
+    """Two triangles forming an axis-aligned square, shared diagonal."""
+    u1 = u0 + size * texel_scale
+    v1 = v0 + size * texel_scale
+    a = Vertex(x0, y0, u0, v0)
+    b = Vertex(x0 + size, y0, u1, v0)
+    c = Vertex(x0, y0 + size, u0, v1)
+    d = Vertex(x0 + size, y0 + size, u1, v1)
+    return [Triangle(a, b, c, texture=texture), Triangle(b, d, c, texture=texture)]
+
+
+@pytest.fixture
+def flat_scene() -> Scene:
+    """A 64x64 screen fully tiled by 8x8 quads over one 64x64 texture.
+
+    Every pixel is drawn exactly once and the texture mapping is the
+    identity, which makes all the locality arithmetic predictable.
+    """
+    scene = Scene("flat", 64, 64, [MipmappedTexture(64, 64)])
+    for y in range(0, 64, 8):
+        for x in range(0, 64, 8):
+            for tri in quad(x, y, 8, u0=float(x), v0=float(y)):
+                scene.add(tri)
+    return scene
+
+
+@pytest.fixture
+def overdraw_scene() -> Scene:
+    """A small screen with a hotspot: one corner overdrawn 8 times."""
+    scene = Scene("hotspot", 64, 64, [MipmappedTexture(32, 32)])
+    for tri in quad(0, 0, 64):
+        scene.add(tri)
+    for layer in range(8):
+        for tri in quad(2, 2, 16, u0=3.0 * layer, v0=5.0 * layer):
+            scene.add(tri)
+    return scene
+
+
+@pytest.fixture
+def tiny_bench_scene() -> Scene:
+    """A miniature generated benchmark scene (deterministic)."""
+    from repro.workloads.scenes import build_scene
+
+    return build_scene("truc640", scale=0.0625)
+
+
+def make_rng(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,174 @@
+"""Tests for the cache simulator: LRU correctness and cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, LruCache, NoCache, PerfectCache, make_cache_model
+from repro.cache.models import RealCache
+from repro.errors import ConfigurationError
+
+
+def tiny_config(sets=2, ways=2):
+    return CacheConfig(total_bytes=64 * sets * ways, line_bytes=64, ways=ways)
+
+
+class TestCacheConfig:
+    def test_default_matches_paper(self):
+        config = CacheConfig()
+        assert config.total_bytes == 16384
+        assert config.line_bytes == 64
+        assert config.ways == 4
+        assert config.num_lines == 256
+        assert config.num_sets == 64
+
+    def test_rejects_partial_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(total_bytes=1000, line_bytes=64, ways=4)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(total_bytes=32, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(ways=0)
+
+
+class TestLruReference:
+    def test_first_access_misses_then_hits(self):
+        cache = LruCache(tiny_config())
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: lines 0 and 2 map to set 0 with 2 sets? use
+        # direct construction: sets=1 -> every line maps to set 0.
+        cache = LruCache(tiny_config(sets=1, ways=2))
+        cache.access(10)
+        cache.access(20)
+        cache.access(10)  # 10 is now MRU, 20 LRU
+        cache.access(30)  # evicts 20
+        assert cache.access(10) is True
+        assert cache.access(20) is False
+
+    def test_sets_are_independent(self):
+        cache = LruCache(tiny_config(sets=2, ways=1))
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.access(0) is True
+        assert cache.access(1) is True
+        cache.access(2)  # set 0, evicts 0
+        assert cache.access(1) is True
+        assert cache.access(0) is False
+
+    def test_contents_snapshot_mru_first(self):
+        cache = LruCache(tiny_config(sets=1, ways=3))
+        for line in (1, 2, 3, 1):
+            cache.access(line)
+        assert cache.contents()[0] == [1, 3, 2]
+
+    def test_reset_empties_cache(self):
+        cache = LruCache(tiny_config())
+        cache.access(5)
+        cache.reset()
+        assert cache.contents() == {}
+        assert cache.access(5) is False
+
+
+class TestLruBatched:
+    def test_matches_reference_on_simple_stream(self):
+        stream = np.array([0, 1, 0, 2, 64, 0, 1, 1, 1, 2])
+        batched = LruCache(CacheConfig())
+        reference = LruCache(CacheConfig())
+        got = batched.simulate(stream)
+        want = np.array([not reference.access(line) for line in stream])
+        assert (got == want).all()
+
+    def test_empty_stream(self):
+        cache = LruCache(CacheConfig())
+        assert cache.simulate(np.array([], dtype=np.int64)).size == 0
+
+    def test_statefulness_across_chunks(self):
+        stream = np.arange(100) % 7
+        whole = LruCache(tiny_config(sets=2, ways=2)).simulate(stream)
+        chunked_cache = LruCache(tiny_config(sets=2, ways=2))
+        parts = [chunked_cache.simulate(chunk) for chunk in np.array_split(stream, 7)]
+        assert (np.concatenate(parts) == whole).all()
+
+    def test_consecutive_duplicates_always_hit(self):
+        cache = LruCache(tiny_config())
+        misses = cache.simulate(np.array([9, 9, 9, 9]))
+        assert misses.tolist() == [True, False, False, False]
+
+    def test_duplicate_hit_survives_chunk_boundary(self):
+        cache = LruCache(tiny_config(sets=1, ways=1))
+        first = cache.simulate(np.array([3]))
+        second = cache.simulate(np.array([3, 3]))
+        assert first.tolist() == [True]
+        assert second.tolist() == [False, False]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=300),
+        sets=st.sampled_from([1, 2, 4, 8]),
+        ways=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_batched_equals_reference(self, stream, sets, ways):
+        """The vectorised replay is bit-identical to the stepwise LRU."""
+        config = tiny_config(sets=sets, ways=ways)
+        stream = np.asarray(stream, dtype=np.int64)
+        batched = LruCache(config).simulate(stream)
+        reference = LruCache(config)
+        expected = np.array(
+            [not reference.access(line) for line in stream], dtype=bool
+        )
+        assert (batched == expected).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=200),
+        cut=st.integers(min_value=0, max_value=200),
+    )
+    def test_property_chunking_is_transparent(self, stream, cut):
+        stream = np.asarray(stream, dtype=np.int64)
+        cut = min(cut, len(stream))
+        config = tiny_config(sets=4, ways=2)
+        whole = LruCache(config).simulate(stream)
+        cache = LruCache(config)
+        split = np.concatenate([cache.simulate(stream[:cut]), cache.simulate(stream[cut:])])
+        assert (split == whole).all()
+
+    def test_miss_count_bounded_by_unique_lines_with_huge_cache(self):
+        config = CacheConfig(total_bytes=1 << 20, line_bytes=64, ways=4)
+        stream = np.random.default_rng(0).integers(0, 500, size=5000)
+        misses = LruCache(config).simulate(stream)
+        assert misses.sum() == len(np.unique(stream))
+
+
+class TestModels:
+    def test_factory(self):
+        assert isinstance(make_cache_model("perfect"), PerfectCache)
+        assert isinstance(make_cache_model("none"), NoCache)
+        assert isinstance(make_cache_model("lru"), RealCache)
+        assert isinstance(make_cache_model(None), RealCache)
+        model = PerfectCache()
+        assert make_cache_model(model) is model
+        with pytest.raises(ConfigurationError):
+            make_cache_model("bogus")
+
+    def test_perfect_never_misses(self):
+        model = PerfectCache()
+        assert model.misses(np.arange(100)).sum() == 0
+
+    def test_nocache_always_fetches_single_texels(self):
+        model = NoCache()
+        assert model.misses(np.zeros(10)).all()
+        assert model.texels_per_fetch == 1
+
+    def test_real_cache_fetches_whole_lines(self):
+        model = RealCache()
+        assert model.texels_per_fetch == 16
+        stream = np.array([0, 0, 1, 0])
+        assert model.misses(stream).tolist() == [True, False, True, False]
+        model.reset()
+        assert model.misses(np.array([0]))[0]

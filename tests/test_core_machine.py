@@ -1,0 +1,185 @@
+"""Tests for the machine simulator, including event/fast-path agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import MachineConfig, simulate_machine, single_processor_baseline, speedup
+from repro.core.distributor import interleave_stream, run_event_machine
+from repro.core.routing import build_routed_work
+from repro.distribution import BlockInterleaved, ScanLineInterleaved, SingleProcessor
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_rejects_bad_bus_ratio(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(distribution=SingleProcessor(), bus_ratio=0)
+
+    def test_rejects_bad_fifo(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(distribution=SingleProcessor(), fifo_capacity=0)
+
+    def test_infinite_bus_allowed(self):
+        config = MachineConfig(distribution=SingleProcessor(), bus_ratio=math.inf)
+        assert math.isinf(config.bus_ratio)
+
+    def test_with_distribution_keeps_rest(self):
+        config = MachineConfig(
+            distribution=SingleProcessor(), cache="perfect", bus_ratio=2.0
+        )
+        other = config.with_distribution(BlockInterleaved(4, 16))
+        assert other.cache == "perfect"
+        assert other.num_processors == 4
+
+
+class TestSingleProcessor:
+    def test_perfect_cache_cycles_equal_work(self, flat_scene):
+        config = MachineConfig(distribution=SingleProcessor(), cache="perfect")
+        result = simulate_machine(flat_scene, config)
+        fragments = flat_scene.fragments()
+        counts = fragments.triangle_pixel_counts()
+        expected = np.maximum(counts, 25).sum()
+        assert result.cycles == expected
+
+    def test_cacheless_is_bus_bound(self, flat_scene):
+        perfect = MachineConfig(distribution=SingleProcessor(), cache="perfect")
+        nocache = MachineConfig(
+            distribution=SingleProcessor(), cache="none", bus_ratio=1.0
+        )
+        t_perfect = simulate_machine(flat_scene, perfect).cycles
+        t_nocache = simulate_machine(flat_scene, nocache).cycles
+        # 8 texels/pixel over a 1 texel/cycle bus: ~8x slower.
+        assert t_nocache >= 6 * t_perfect
+
+    def test_cache_ordering_between_models(self, flat_scene):
+        def cycles(cache):
+            config = MachineConfig(
+                distribution=SingleProcessor(), cache=cache, bus_ratio=1.0
+            )
+            return simulate_machine(flat_scene, config).cycles
+
+        assert cycles("perfect") <= cycles("lru") <= cycles("none")
+
+
+class TestParallelMachine:
+    def test_speedup_bounded_by_processor_count(self, tiny_bench_scene):
+        config = MachineConfig(distribution=BlockInterleaved(4, 16), cache="perfect")
+        value = speedup(tiny_bench_scene, config)
+        assert 1.0 <= value <= 4.0 + 1e-9
+
+    def test_parallel_no_slower_than_serial_perfect_cache(self, flat_scene):
+        config = MachineConfig(distribution=BlockInterleaved(4, 8), cache="perfect")
+        parallel = simulate_machine(flat_scene, config).cycles
+        serial = single_processor_baseline(flat_scene, config)
+        assert parallel <= serial
+
+    def test_result_records_configuration(self, flat_scene):
+        config = MachineConfig(
+            distribution=ScanLineInterleaved(4, 2), cache="perfect", bus_ratio=2.0
+        )
+        result = simulate_machine(flat_scene, config)
+        assert result.distribution == "sli2x4"
+        assert result.cache_name == "perfect"
+        assert result.bus_ratio == 2.0
+        assert result.num_processors == 4
+        assert "sli2x4" in result.summary()
+
+    def test_speedup_property_of_result(self, flat_scene):
+        config = MachineConfig(distribution=BlockInterleaved(4, 8), cache="perfect")
+        baseline = single_processor_baseline(flat_scene, config)
+        result = simulate_machine(flat_scene, config, baseline_cycles=baseline)
+        assert result.speedup == pytest.approx(baseline / result.cycles)
+        assert result.efficiency == pytest.approx(result.speedup / 4)
+
+    def test_finish_times_bounded_by_total(self, tiny_bench_scene):
+        config = MachineConfig(distribution=BlockInterleaved(8, 16))
+        result = simulate_machine(tiny_bench_scene, config)
+        assert result.cycles == pytest.approx(result.timings.finish.max())
+        assert result.timings.finish[result.timings.critical_node] == result.timings.finish.max()
+
+
+class TestEventPathEquivalence:
+    """The event-driven machine must equal the fast path when FIFOs
+    never fill — the cornerstone consistency check between the two
+    timing implementations."""
+
+    @pytest.mark.parametrize("cache", ["perfect", "lru"])
+    @pytest.mark.parametrize(
+        "dist",
+        [BlockInterleaved(4, 8), ScanLineInterleaved(4, 2), BlockInterleaved(7, 8)],
+        ids=lambda d: d.describe(),
+    )
+    def test_big_fifo_matches_fast_path(self, flat_scene, cache, dist):
+        work = build_routed_work(flat_scene, dist, cache_spec=cache)
+        config = MachineConfig(distribution=dist, cache=cache, bus_ratio=1.0)
+        fast = simulate_machine(flat_scene, config, routed=work)
+
+        stream = interleave_stream(work.triangles, work.pixels, work.texels)
+        cycles, finish = run_event_machine(
+            stream, dist.num_processors, 10**9, 25, 1.0
+        )
+        assert cycles == pytest.approx(fast.cycles)
+        assert np.allclose(np.asarray(finish), fast.timings.finish)
+
+    def test_small_fifo_never_faster(self, tiny_bench_scene):
+        dist = BlockInterleaved(8, 8)
+        work = build_routed_work(tiny_bench_scene, dist, cache_spec="perfect")
+        big = MachineConfig(distribution=dist, cache="perfect", fifo_capacity=10000)
+        t_big = simulate_machine(tiny_bench_scene, big, routed=work).cycles
+        for capacity in (1, 4, 16):
+            small = MachineConfig(
+                distribution=dist, cache="perfect", fifo_capacity=capacity
+            )
+            t_small = simulate_machine(tiny_bench_scene, small, routed=work).cycles
+            assert t_small >= t_big - 1e-9
+
+    def test_fifo_of_one_serialises_on_the_stream(self, flat_scene):
+        """With 1-entry FIFOs head-of-line blocking dominates."""
+        dist = BlockInterleaved(4, 8)
+        work = build_routed_work(flat_scene, dist, cache_spec="perfect")
+        tiny = MachineConfig(distribution=dist, cache="perfect", fifo_capacity=1)
+        big = MachineConfig(distribution=dist, cache="perfect", fifo_capacity=10000)
+        t_tiny = simulate_machine(flat_scene, tiny, routed=work).cycles
+        t_big = simulate_machine(flat_scene, big, routed=work).cycles
+        assert t_tiny > t_big
+
+
+class TestMonotonicities:
+    def test_wider_bus_never_slower(self, tiny_bench_scene):
+        dist = BlockInterleaved(4, 16)
+        work = build_routed_work(tiny_bench_scene, dist, cache_spec="lru")
+        times = []
+        for ratio in (0.5, 1.0, 2.0, math.inf):
+            config = MachineConfig(distribution=dist, cache="lru", bus_ratio=ratio)
+            times.append(simulate_machine(tiny_bench_scene, config, routed=work).cycles)
+        assert times == sorted(times, reverse=True)
+
+
+class TestEventInstrumentation:
+    def test_stream_interleave_order(self):
+        triangles = [np.array([0, 2]), np.array([0, 1])]
+        pixels = [np.array([10, 30]), np.array([20, 40])]
+        texels = [np.array([0, 0]), np.array([16, 0])]
+        stream = interleave_stream(triangles, pixels, texels)
+        assert stream == [
+            (0, 0, 10, 0),
+            (0, 1, 20, 16),
+            (1, 1, 40, 0),
+            (2, 0, 30, 0),
+        ]
+
+    def test_small_fifo_reports_head_of_line_blocking(self, flat_scene):
+        dist = BlockInterleaved(4, 8)
+        work = build_routed_work(flat_scene, dist, cache_spec="perfect")
+        config = MachineConfig(distribution=dist, cache="perfect", fifo_capacity=1)
+        result = simulate_machine(flat_scene, config, routed=work)
+        assert result.extras["distributor_blocked_cycles"] > 0
+        assert max(result.extras["fifo_high_water"]) <= 1
+        assert len(result.extras["distributor_blocked_per_node"]) == 4
+
+    def test_big_fifo_takes_fast_path_without_extras(self, flat_scene):
+        config = MachineConfig(distribution=BlockInterleaved(4, 8), cache="perfect")
+        result = simulate_machine(flat_scene, config)
+        assert "distributor_blocked_cycles" not in result.extras

@@ -1,0 +1,143 @@
+"""Tests for the experiment registry and the CLI front-end.
+
+Experiments run at a very small scale here — these tests check wiring
+and output shape, not the quantitative results (the benchmark harness
+owns those).
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.cli import main
+
+SCALE = 0.0625
+
+
+class TestExperimentFunctions:
+    def test_table1_lists_all_scenes(self):
+        text = experiments.table1(SCALE)
+        for name in ("room3", "teapot_full", "quake", "truc640"):
+            assert name in text
+
+    def test_fig5_imbalance_has_all_sizes(self):
+        text = experiments.fig5_imbalance("block", SCALE, processors=8)
+        for width in experiments.BLOCK_WIDTHS:
+            assert f"w{width}" in text
+
+    def test_fig5_speedup_series_header(self):
+        text = experiments.fig5_speedup("sli", SCALE)
+        assert "lines\\processors" in text
+
+    def test_fig6_mentions_scene(self):
+        text = experiments.fig6("massive32_1255", "sli", SCALE)
+        assert "massive32_1255" in text
+        assert "lines\\processors" in text
+
+    def test_fig7_contains_every_scene_panel(self):
+        text = experiments.fig7("block", SCALE, scenes=("quake", "blowout775"))
+        assert "quake" in text and "blowout775" in text
+
+    def test_fig8_buffer_columns(self):
+        text = experiments.fig8("perfect", SCALE)
+        assert "width\\buffer" in text
+        assert "10000" in text
+
+    def test_ablations_render(self):
+        assert "4KB" in experiments.ablation_cache_size(SCALE)
+        assert "1-way" in experiments.ablation_cache_associativity(SCALE)
+        assert "bands" in experiments.ablation_interleaving(SCALE)
+        assert "raster 16x1" in experiments.ablation_texture_blocking(SCALE)
+
+    def test_registry_entries_are_callable(self):
+        assert set(experiments.EXPERIMENTS) >= {
+            "table1",
+            "fig5-imbalance",
+            "fig5-speedup",
+            "fig6",
+            "fig7",
+            "fig7-ratio2",
+            "fig8",
+            "ablations",
+        }
+        for name, (description, runner) in experiments.EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig8" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_scale(self, capsys):
+        assert main(["table1", "--scale", "3"]) == 2
+        assert "scale" in capsys.readouterr().err
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table1", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "scene characteristics" in out
+        assert "room3" in out
+
+    def test_writes_output_files(self, tmp_path, capsys):
+        assert main(["table1", "--scale", str(SCALE), "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        written = tmp_path / "table1.txt"
+        assert written.exists()
+        assert "room3" in written.read_text()
+
+    def test_dump_and_replay_trace(self, tmp_path, capsys):
+        path = tmp_path / "scene.trace"
+        assert main([
+            "dump-trace", "--scene", "blowout775",
+            "--path", str(path), "--scale", str(SCALE),
+        ]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main([
+            "replay-trace", "--path", str(path),
+            "--processors", "4", "--width", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blowout775" in out and "speedup" in out
+
+    def test_dump_trace_requires_path_and_known_scene(self, tmp_path, capsys):
+        assert main(["dump-trace", "--scene", "blowout775"]) == 2
+        assert "needs --path" in capsys.readouterr().err
+        assert main([
+            "dump-trace", "--scene", "doom", "--path", str(tmp_path / "x.trace"),
+        ]) == 2
+        assert "unknown scene" in capsys.readouterr().err
+
+    def test_replay_trace_requires_path(self, capsys):
+        assert main(["replay-trace"]) == 2
+        assert "needs --path" in capsys.readouterr().err
+
+
+class TestMethodologyExperiments:
+    def test_cad_contrast_shows_lower_cache_pressure(self):
+        text = experiments.cad_contrast(SCALE, num_processors=8)
+        assert "viewperf_cad" in text
+        assert "massive32_1255" in text
+
+    def test_cad_scene_really_is_texture_light(self):
+        from repro.analysis import texel_to_fragment_ratio
+        from repro.distribution import BlockInterleaved
+        from repro.workloads import build_scene
+        from repro.workloads.generator import generate_scene
+        from repro.workloads.scenes import CAD_CONTRAST_SPEC
+
+        cad = generate_scene(CAD_CONTRAST_SPEC, scale=SCALE)
+        vr = build_scene("massive32_1255", SCALE)
+        dist = BlockInterleaved(8, 16)
+        assert texel_to_fragment_ratio(cad, dist) < texel_to_fragment_ratio(vr, dist)
+
+    def test_scale_stability_lists_scales(self):
+        text = experiments.scale_stability(0.25, scales=(0.0625, 0.125), num_processors=4)
+        assert "0.062" in text and "0.125" in text
+        assert "best width" in text

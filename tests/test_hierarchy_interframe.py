@@ -1,0 +1,153 @@
+"""Tests for the two-level cache and the inter-frame study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interframe import (
+    FrameTraffic,
+    render_interframe_table,
+    replay_sequence,
+    warm_frame_ratio,
+)
+from repro.cache import CacheConfig, TwoLevelCache
+from repro.cache.lru import LruCache
+from repro.distribution import BlockInterleaved, SingleProcessor
+from repro.workloads.scenes import SCENE_SPECS
+from repro.workloads.sequence import pan_sequence, translate_scene
+
+
+def small_hierarchy():
+    return TwoLevelCache(
+        l1_config=CacheConfig(total_bytes=512, line_bytes=64, ways=2),
+        l2_config=CacheConfig(total_bytes=4096, line_bytes=64, ways=4),
+    )
+
+
+class TestTwoLevelCache:
+    def test_memory_miss_only_when_both_levels_miss(self):
+        cache = small_hierarchy()
+        first = cache.misses(np.array([7]))
+        again = cache.misses(np.array([7]))
+        assert first.tolist() == [True]
+        assert again.tolist() == [False]
+        assert cache.l1_misses == 1 and cache.l2_misses == 1
+
+    def test_l2_catches_l1_evictions(self):
+        cache = small_hierarchy()
+        # L1 set 0 holds 2 ways; lines 0, 8, 16 all map to L1 set 0
+        # (8 sets? 512/64/2 = 4 sets) -> use multiples of 4.
+        stream = np.array([0, 4, 8, 0])
+        memory = cache.misses(stream)
+        # Line 0 was evicted from L1 by 4 and 8, but the L2 still has it.
+        assert memory.tolist() == [True, True, True, False]
+        assert cache.l1_misses == 4
+        assert cache.l2_misses == 3
+
+    def test_reset_l1_only_keeps_l2_warm(self):
+        cache = small_hierarchy()
+        cache.misses(np.array([3]))
+        cache.reset_l1_only()
+        memory = cache.misses(np.array([3]))
+        assert memory.tolist() == [False]  # L1 missed, L2 hit
+
+    def test_full_reset_clears_both(self):
+        cache = small_hierarchy()
+        cache.misses(np.array([3]))
+        cache.reset()
+        assert cache.l1_misses == 0
+        memory = cache.misses(np.array([3]))
+        assert memory.tolist() == [True]
+
+    def test_equivalent_to_single_l2_for_inclusive_stream(self):
+        """Memory misses equal a standalone L2's misses on the L1-miss
+        substream by construction."""
+        config_l1 = CacheConfig(total_bytes=512, line_bytes=64, ways=2)
+        config_l2 = CacheConfig(total_bytes=4096, line_bytes=64, ways=4)
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 100, size=2000)
+        hierarchy = TwoLevelCache(config_l1, config_l2)
+        memory = hierarchy.misses(stream)
+
+        l1 = LruCache(config_l1)
+        l1_mask = l1.simulate(stream)
+        l2 = LruCache(config_l2)
+        expected = np.zeros(len(stream), dtype=bool)
+        expected[np.flatnonzero(l1_mask)] = l2.simulate(stream[l1_mask])
+        assert (memory == expected).all()
+
+    def test_name_mentions_both_levels(self):
+        assert "l2" in TwoLevelCache().name
+
+
+class TestPanSequence:
+    def test_frames_share_textures_and_screen(self):
+        frames = pan_sequence(SCENE_SPECS["blowout775"], 0.0625, 3, 8)
+        assert len(frames) == 3
+        assert frames[0].textures[0] is frames[1].textures[0]
+        assert frames[0].width == frames[2].width
+
+    def test_zero_pan_repeats_the_frame(self):
+        frames = pan_sequence(SCENE_SPECS["blowout775"], 0.0625, 2, 0)
+        a = frames[0].fragments()
+        b = frames[1].fragments()
+        assert len(a) == len(b)
+        assert (a.x == b.x).all()
+
+    def test_pan_moves_content(self):
+        frames = pan_sequence(SCENE_SPECS["blowout775"], 0.0625, 2, 10)
+        v0 = frames[0].triangles[0].v0
+        v1 = frames[1].triangles[0].v0
+        assert v1.x == pytest.approx(v0.x - 10)
+        assert v1.u == v0.u  # texture binding unchanged
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            pan_sequence(SCENE_SPECS["blowout775"], 0.0625, 0, 4)
+        with pytest.raises(ConfigurationError):
+            pan_sequence(SCENE_SPECS["blowout775"], 0.0625, 2, -1)
+
+    def test_translate_scene_keeps_counts(self, flat_scene):
+        moved = translate_scene(flat_scene, 5, 0)
+        assert moved.num_triangles == flat_scene.num_triangles
+        assert moved.textures[0] is flat_scene.textures[0]
+
+
+class TestReplaySequence:
+    def test_static_frame_is_free_after_warmup(self, flat_scene):
+        frames = [flat_scene, translate_scene(flat_scene, 0, 0)]
+        traffic = replay_sequence(
+            frames,
+            SingleProcessor(),
+            l2_config=CacheConfig(total_bytes=1 << 20, ways=8),
+        )
+        assert traffic[0].memory_ratio > 0
+        assert traffic[1].memory_ratio == 0.0
+
+    def test_bigger_pan_leaves_less_l2_benefit(self):
+        def warm_ratio(pan):
+            frames = pan_sequence(SCENE_SPECS["massive32_1255"], 0.0625, 3, pan)
+            traffic = replay_sequence(frames, BlockInterleaved(4, 16))
+            return warm_frame_ratio(traffic)
+
+        assert warm_ratio(0) < warm_ratio(8) < warm_ratio(48)
+
+    def test_traffic_accounting(self, flat_scene):
+        traffic = replay_sequence([flat_scene], SingleProcessor())
+        entry = traffic[0]
+        assert entry.fragments == len(flat_scene.fragments())
+        assert entry.memory_texels <= entry.l1_to_l2_texels
+        assert entry.memory_ratio == pytest.approx(
+            entry.memory_texels / entry.fragments
+        )
+
+    def test_render_table(self):
+        text = render_interframe_table(
+            [(0, 16, 1.0, 0.2)], "demo", 4, 0.125
+        )
+        assert "pan px/frame" in text and "80%" in text
+
+
+def test_frame_traffic_zero_fragments():
+    assert FrameTraffic(0, 0, 0, 0).memory_ratio == 0.0

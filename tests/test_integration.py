@@ -1,0 +1,104 @@
+"""End-to-end integration tests: miniature versions of the paper's claims.
+
+These run the full pipeline (generator -> rasterizer -> routing -> cache
+-> timing) on small scenes and check the *qualitative* shape of each
+headline result.  The benchmark harness regenerates the quantitative
+tables at full experiment scale.
+"""
+
+import pytest
+
+from repro.analysis import SpeedupStudy, imbalance_percent, texel_to_fragment_ratio
+from repro.analysis.buffering import buffer_sweep
+from repro.core import MachineConfig, simulate_machine
+from repro.distribution import BlockInterleaved, ScanLineInterleaved
+from repro.workloads import build_scene
+
+SCALE = 0.0625
+
+
+@pytest.fixture(scope="module")
+def massive():
+    return build_scene("massive32_1255", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def truc():
+    return build_scene("truc640", scale=SCALE)
+
+
+class TestSection5LoadBalance:
+    def test_imbalance_grows_with_block_size(self, massive):
+        values = [
+            imbalance_percent(massive, BlockInterleaved(8, width))
+            for width in (4, 16, 64)
+        ]
+        assert values[0] < values[-1]
+
+    def test_imbalance_grows_with_processors(self, massive):
+        small = imbalance_percent(massive, ScanLineInterleaved(2, 8))
+        large = imbalance_percent(massive, ScanLineInterleaved(16, 8))
+        assert large > small
+
+    def test_block_beats_sli_at_same_block_height(self, massive):
+        """An SLI group is a full-width block: same height, worse balance."""
+        block = imbalance_percent(massive, BlockInterleaved(8, 16))
+        sli = imbalance_percent(massive, ScanLineInterleaved(8, 16))
+        assert sli > block
+
+
+class TestSection6Locality:
+    def test_ratio_increases_as_tiles_shrink(self, massive):
+        coarse = texel_to_fragment_ratio(massive, BlockInterleaved(4, 32))
+        fine = texel_to_fragment_ratio(massive, BlockInterleaved(4, 4))
+        assert fine > coarse
+
+    def test_ratio_increases_with_processors(self, massive):
+        few = texel_to_fragment_ratio(massive, ScanLineInterleaved(2, 2))
+        many = texel_to_fragment_ratio(massive, ScanLineInterleaved(16, 2))
+        assert many > few
+
+    def test_ratio_bounded_by_cacheless_machine(self, massive):
+        ratio = texel_to_fragment_ratio(massive, ScanLineInterleaved(16, 1))
+        assert ratio <= 16.0  # line fills: worst case 2 lines/fragment
+
+
+class TestSection7Performance:
+    def test_massive_prefers_moderate_blocks(self, massive):
+        """Both very small and very large tiles lose to the middle."""
+        study = SpeedupStudy(massive, cache="lru", bus_ratio=1.0)
+        sweep = study.sweep("block", [2, 16, 128], [8])
+        assert sweep[(16, 8)] >= sweep[(2, 8)]
+        assert sweep[(16, 8)] >= sweep[(128, 8)]
+
+    def test_speedup_grows_with_processors(self, massive):
+        study = SpeedupStudy(massive, cache="perfect")
+        sweep = study.sweep("block", [16], [2, 8])
+        assert sweep[(16, 8)] > sweep[(16, 2)]
+
+
+class TestSection8Buffering:
+    def test_small_buffers_cost_performance(self, truc):
+        sweep = buffer_sweep(
+            truc,
+            "block",
+            sizes=[16],
+            buffer_sizes=[1, 10000],
+            num_processors=8,
+            cache="perfect",
+        )
+        assert sweep[(16, 10000)] > sweep[(16, 1)]
+
+
+class TestTraceDrivenEquivalence:
+    def test_saved_trace_reproduces_simulation(self, truc, tmp_path):
+        """Capture-and-replay (the paper's Mesa-trace workflow)."""
+        from repro.geometry import load_trace, save_trace
+
+        path = tmp_path / "truc.trace"
+        save_trace(truc, path)
+        replayed = load_trace(path)
+        config = MachineConfig(distribution=BlockInterleaved(4, 16), cache="perfect")
+        live = simulate_machine(truc, config).cycles
+        replay = simulate_machine(replayed, config).cycles
+        assert replay == pytest.approx(live, rel=0.002)

@@ -1,0 +1,58 @@
+"""Tests for the analytical overlap model and its validation."""
+
+import pytest
+
+from repro.analysis.overlap import (
+    overlap_validation,
+    predicted_overlap,
+    scene_measured_overlap,
+    scene_predicted_overlap,
+)
+from repro.errors import ConfigurationError
+from repro.geometry import Scene, Triangle, Vertex
+from repro.texture.texture import MipmappedTexture
+
+
+class TestClosedForm:
+    def test_point_triangle_overlaps_one_tile(self):
+        assert predicted_overlap(0, 0, 16) == pytest.approx(1.0)
+
+    def test_tile_sized_box_overlaps_four(self):
+        assert predicted_overlap(16, 16, 16) == pytest.approx(4.0)
+
+    def test_monotone_in_box_size(self):
+        values = [predicted_overlap(w, w, 8) for w in (1, 4, 16, 64)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_overlap(4, 4, 0)
+
+
+class TestSceneOverlap:
+    def make_scene(self):
+        scene = Scene("one", 64, 64, [MipmappedTexture(8, 8)])
+        scene.add(Triangle(Vertex(10, 10), Vertex(26, 10), Vertex(10, 26)))
+        return scene
+
+    def test_measured_matches_hand_count(self):
+        scene = self.make_scene()
+        # Bounding box [10, 26) x [10, 26) on 16-pixel tiles touches a
+        # 2x2 tile window.
+        assert scene_measured_overlap(scene, 16) == pytest.approx(4.0)
+
+    def test_predicted_in_same_ballpark(self, tiny_bench_scene):
+        for tile in (8, 16, 32):
+            predicted = scene_predicted_overlap(tiny_bench_scene, tile)
+            measured = scene_measured_overlap(tiny_bench_scene, tile)
+            assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_empty_scene(self):
+        scene = Scene("empty", 32, 32, [MipmappedTexture(8, 8)])
+        assert scene_predicted_overlap(scene, 8) == 0.0
+        assert scene_measured_overlap(scene, 8) == 0.0
+
+    def test_validation_table(self, tiny_bench_scene):
+        text = overlap_validation(tiny_bench_scene, [8, 16])
+        assert "predicted overlap" in text
+        assert "16" in text

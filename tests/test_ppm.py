@@ -1,0 +1,87 @@
+"""Tests for PPM image export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ppm import (
+    heat_colormap,
+    overdraw_image,
+    owner_map_image,
+    read_ppm,
+    save_overdraw,
+    save_owner_map,
+    write_ppm,
+)
+from repro.distribution import BlockInterleaved, ScanLineInterleaved
+from repro.errors import ConfigurationError
+
+
+class TestPpmIo:
+    def test_round_trip(self, tmp_path):
+        rgb = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        path = tmp_path / "img.ppm"
+        write_ppm(path, rgb)
+        back = read_ppm(path)
+        assert back.shape == (2, 3, 3)
+        assert (back == rgb).all()
+
+    def test_clips_non_uint8(self, tmp_path):
+        rgb = np.array([[[300.0, -5.0, 127.5]]])
+        path = tmp_path / "clip.ppm"
+        write_ppm(path, rgb)
+        pixel = read_ppm(path)[0, 0]
+        assert pixel.tolist() == [255, 0, 127]
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4)))
+
+    def test_read_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "not.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ConfigurationError):
+            read_ppm(path)
+
+
+class TestColormaps:
+    def test_heat_ramp_endpoints(self):
+        image = heat_colormap(np.array([[0.0, 1.0]]))
+        assert image[0, 0].tolist() == [0, 0, 0]
+        assert image[0, 1].tolist() == [255, 255, 255]
+
+    def test_heat_ramp_monotone_brightness(self):
+        image = heat_colormap(np.array([[0.0, 0.3, 0.6, 1.0]]))
+        brightness = image[0].astype(int).sum(axis=1)
+        assert (np.diff(brightness) > 0).all()
+
+    def test_all_zero_field(self):
+        image = heat_colormap(np.zeros((2, 2)))
+        assert (image == 0).all()
+
+
+class TestSpatialImages:
+    def test_owner_map_distinct_colours(self):
+        image = owner_map_image(ScanLineInterleaved(4, 2), 8, 16)
+        rows = {tuple(image[row, 0]) for row in range(0, 16, 2)}
+        assert len(rows) == 4
+
+    def test_owner_map_matches_distribution(self):
+        dist = BlockInterleaved(4, 4)
+        image = owner_map_image(dist, 8, 8)
+        assert (image[0, 0] == image[1, 1]).all()      # same tile
+        assert not (image[0, 0] == image[0, 4]).all()  # adjacent tile
+
+    def test_overdraw_image_shape_and_hotspot(self, overdraw_scene):
+        image = overdraw_image(overdraw_scene)
+        assert image.shape == (64, 64, 3)
+        hot = image[4, 4].astype(int).sum()
+        cold = image[60, 60].astype(int).sum()
+        assert hot > cold
+
+    def test_save_helpers(self, tmp_path, overdraw_scene):
+        owner_path = tmp_path / "owners.ppm"
+        heat_path = tmp_path / "heat.ppm"
+        save_owner_map(BlockInterleaved(4, 8), 32, 32, owner_path)
+        save_overdraw(overdraw_scene, heat_path)
+        assert read_ppm(owner_path).shape == (32, 32, 3)
+        assert read_ppm(heat_path).shape == (64, 64, 3)

@@ -1,0 +1,108 @@
+"""Property tests over the workload generator and renderer."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render import GradientTexture, render_scene
+from repro.workloads import SCENE_SPECS
+from repro.workloads.generator import SceneSpec, generate_scene
+from repro.workloads.sequence import pan_sequence
+
+
+@st.composite
+def generator_specs(draw):
+    """Small random-but-valid scene specs."""
+    return SceneSpec(
+        name="prop",
+        screen_width=128,
+        screen_height=96,
+        depth_complexity=draw(st.floats(min_value=0.5, max_value=6.0)),
+        pixels_per_triangle=draw(st.floats(min_value=30.0, max_value=400.0)),
+        num_textures=draw(st.integers(min_value=1, max_value=6)),
+        texture_edges=((draw(st.sampled_from([8, 16, 32, 64])), 1.0),),
+        texel_scale=draw(st.floats(min_value=0.2, max_value=3.0)),
+        object_grid=draw(st.integers(min_value=1, max_value=3)),
+        emit_order=draw(st.sampled_from(["clustered", "raster", "random"])),
+        seed=draw(st.integers(min_value=0, max_value=999)),
+    )
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=generator_specs())
+    def test_generated_scenes_are_well_formed(self, spec):
+        scene = generate_scene(spec)
+        assert scene.num_triangles > 0
+        for triangle in scene.triangles[:50]:
+            assert 0 <= triangle.texture < len(scene.textures)
+        fragments = scene.fragments()
+        assert (fragments.x >= 0).all() and (fragments.x < scene.width).all()
+        assert (fragments.y >= 0).all() and (fragments.y < scene.height).all()
+        assert (fragments.level >= 0).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=generator_specs())
+    def test_depth_complexity_tracks_target(self, spec):
+        scene = generate_scene(spec)
+        measured = len(scene.fragments()) / scene.screen_pixels
+        # Area targeting overshoots by at most ~one object and clipping
+        # sampling noise; generous bounds still catch regressions.
+        assert measured == pytest.approx(spec.depth_complexity, rel=0.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        frames=st.integers(min_value=1, max_value=4),
+        pan=st.integers(min_value=0, max_value=24),
+    )
+    def test_pan_sequence_invariants(self, frames, pan):
+        sequence = pan_sequence(SCENE_SPECS["blowout775"], 0.0625, frames, pan)
+        assert len(sequence) == frames
+        sizes = {(frame.width, frame.height) for frame in sequence}
+        assert len(sizes) == 1
+        counts = {frame.num_triangles for frame in sequence}
+        assert len(counts) == 1  # same world, translated
+
+
+class TestRendererProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_render_is_deterministic(self, seed):
+        spec = replace(SCENE_SPECS["blowout775"], seed=seed)
+        scene = generate_scene(spec, scale=0.0625)
+        a = render_scene(scene)
+        b = render_scene(scene)
+        assert (a == b).all()
+
+    @settings(max_examples=8, deadline=None)
+    @given(offset=st.floats(min_value=0.0, max_value=32.0))
+    def test_gradient_linearity_survives_texture_offset(self, offset):
+        """Bilinear filtering of a linear pattern is exact for any
+        phase of the sample grid relative to the texel grid."""
+        from repro.geometry import Scene, Triangle, Vertex
+        from repro.texture.texture import MipmappedTexture
+
+        scene = Scene("grad", 32, 32, [MipmappedTexture(64, 64)])
+        scene.add(
+            Triangle(
+                Vertex(0, 0, offset, 0),
+                Vertex(32, 0, offset + 32, 0),
+                Vertex(0, 32, offset, 32),
+            )
+        )
+        scene.add(
+            Triangle(
+                Vertex(32, 0, offset + 32, 0),
+                Vertex(32, 32, offset + 32, 32),
+                Vertex(0, 32, offset, 32),
+            )
+        )
+        image = render_scene(scene, [GradientTexture()]).astype(float) / 255.0
+        row = image[16, :, 0]
+        expected = ((np.arange(32) + 0.5 + offset) / 64) % 1.0
+        # Away from the wrap discontinuity the ramp must be exact.
+        safe = np.abs(expected - 0.999) > 0.05
+        assert row[safe] == pytest.approx(expected[safe], abs=0.02)

@@ -1,0 +1,205 @@
+"""Tests for triangle setup and scan conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Scene, Triangle, Vertex
+from repro.raster import (
+    FragmentBuffer,
+    mip_level_for_scale,
+    rasterize_scene,
+    rasterize_triangle,
+    triangle_setup,
+)
+from repro.texture.texture import MipmappedTexture
+from tests.conftest import quad
+
+
+def tri(coords, texture=0):
+    vertices = [Vertex(*c) for c in coords]
+    return Triangle(vertices[0], vertices[1], vertices[2], texture=texture)
+
+
+class TestSetup:
+    def test_covers_interior_and_excludes_exterior(self):
+        eq = triangle_setup(tri([(0, 0), (10, 0), (0, 10)]))
+        inside = eq.covers(np.array([2.5]), np.array([2.5]))
+        outside = eq.covers(np.array([9.5]), np.array([9.5]))
+        assert inside[0] and not outside[0]
+
+    def test_winding_is_normalised(self):
+        cw = triangle_setup(tri([(0, 0), (10, 0), (0, 10)]))
+        ccw = triangle_setup(tri([(0, 0), (0, 10), (10, 0)]))
+        px = np.array([1.5, 8.0])
+        py = np.array([1.5, 8.0])
+        assert (cw.covers(px, py) == ccw.covers(px, py)).all()
+
+    def test_double_area_positive(self):
+        eq = triangle_setup(tri([(0, 0), (0, 10), (10, 0)]))
+        assert eq.double_area == pytest.approx(100.0)
+
+
+class TestRasterizeTriangle:
+    def test_degenerate_returns_none(self):
+        assert rasterize_triangle(tri([(0, 0), (5, 5), (10, 10)]), 64, 64) is None
+
+    def test_offscreen_returns_none(self):
+        assert rasterize_triangle(tri([(100, 100), (110, 100), (100, 110)]), 64, 64) is None
+
+    def test_covers_no_pixel_centre_returns_none(self):
+        # A sliver between two pixel-centre columns.
+        sliver = tri([(3.6, 0), (3.9, 0), (3.75, 40)])
+        assert rasterize_triangle(sliver, 64, 64) is None
+
+    def test_axis_aligned_right_triangle_pixel_count(self):
+        result = rasterize_triangle(tri([(0, 0), (8, 0), (0, 8)]), 64, 64)
+        # Pixel centres strictly inside x + y < 8: rows of 7, 6, ... 0.
+        # (The diagonal is not a top-left edge, so it is excluded; the
+        # matching quad half owns it — see the shared-diagonal test.)
+        assert len(result["x"]) == 28
+
+    def test_clips_to_screen(self):
+        result = rasterize_triangle(tri([(-8, -8), (16, -8), (-8, 16)]), 64, 64)
+        assert len(result["x"]) > 0
+        assert (result["x"] >= 0).all() and (result["y"] >= 0).all()
+
+    def test_scanline_order(self):
+        result = rasterize_triangle(tri([(0, 0), (10, 0), (0, 10)]), 64, 64)
+        y = result["y"]
+        x = result["x"]
+        assert (np.diff(y) >= 0).all()
+        same_row = np.diff(y) == 0
+        assert (np.diff(x)[same_row] > 0).all()
+
+    def test_interpolates_texture_coordinates(self):
+        t = Triangle(
+            Vertex(0, 0, 0, 0), Vertex(16, 0, 32, 0), Vertex(0, 16, 0, 32)
+        )
+        result = rasterize_triangle(t, 64, 64)
+        # The mapping is u = 2x, v = 2y at pixel centres.
+        assert result["u"] == pytest.approx(2 * (result["x"] + 0.5))
+        assert result["v"] == pytest.approx(2 * (result["y"] + 0.5))
+        # scale 2 -> base mip level 1.
+        assert (result["level"] == 1).all()
+
+    def test_shared_quad_diagonal_drawn_exactly_once(self):
+        a, b = quad(0, 0, 16)
+        ra = rasterize_triangle(a, 64, 64, 0)
+        rb = rasterize_triangle(b, 64, 64, 1)
+        assert len(ra["x"]) + len(rb["x"]) == 256
+        keys_a = set(zip(ra["x"].tolist(), ra["y"].tolist()))
+        keys_b = set(zip(rb["x"].tolist(), rb["y"].tolist()))
+        assert not keys_a & keys_b
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x0=st.integers(min_value=0, max_value=40),
+        y0=st.integers(min_value=0, max_value=40),
+        size=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_quad_pixel_count_is_exact(self, x0, y0, size):
+        """Two triangles of any on-screen quad cover size*size pixels once."""
+        total = 0
+        seen = set()
+        for index, t in enumerate(quad(x0, y0, size)):
+            result = rasterize_triangle(t, 64, 64, index)
+            if result is None:
+                continue
+            total += len(result["x"])
+            for key in zip(result["x"].tolist(), result["y"].tolist()):
+                assert key not in seen
+                seen.add(key)
+        clipped_w = min(x0 + size, 64) - x0
+        clipped_h = min(y0 + size, 64) - y0
+        assert total == clipped_w * clipped_h
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        coords=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=63),
+                st.floats(min_value=0, max_value=63),
+            ),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_property_fragment_count_close_to_area(self, coords):
+        """Pixel count approximates geometric area for random triangles."""
+        triangle = tri(coords)
+        result = rasterize_triangle(triangle, 64, 64)
+        count = 0 if result is None else len(result["x"])
+        area = triangle.area()
+        # Sampling error is bounded by roughly half the perimeter.
+        perimeter = sum(
+            np.hypot(a[0] - b[0], a[1] - b[1])
+            for a, b in zip(coords, coords[1:] + coords[:1])
+        )
+        assert abs(count - area) <= 0.75 * perimeter + 2
+
+
+class TestMipSelection:
+    def test_magnified_stays_level_zero(self):
+        assert mip_level_for_scale(0.25) == 0
+        assert mip_level_for_scale(1.0) == 0
+
+    def test_powers_of_two(self):
+        assert mip_level_for_scale(2.0) == 1
+        assert mip_level_for_scale(4.0) == 2
+        assert mip_level_for_scale(3.9) == 1
+
+    def test_clamped(self):
+        assert mip_level_for_scale(1e9) == 15
+
+
+class TestRasterizeScene:
+    def test_preserves_triangle_order(self, flat_scene):
+        fragments = flat_scene.fragments()
+        assert (np.diff(fragments.triangle) >= 0).all()
+
+    def test_full_tiling_draws_every_pixel_once(self, flat_scene):
+        fragments = flat_scene.fragments()
+        assert len(fragments) == 64 * 64
+        keys = fragments.y.astype(np.int64) * 64 + fragments.x
+        assert len(np.unique(keys)) == 64 * 64
+
+    def test_triangle_pixel_counts_sum_to_total(self, overdraw_scene):
+        fragments = overdraw_scene.fragments()
+        counts = fragments.triangle_pixel_counts()
+        assert counts.sum() == len(fragments)
+        assert len(counts) == overdraw_scene.num_triangles
+
+    def test_empty_scene_yields_empty_buffer(self):
+        scene = Scene("empty", 32, 32, [MipmappedTexture(8, 8)])
+        fragments = rasterize_scene(scene)
+        assert len(fragments) == 0
+        assert fragments.num_triangles == 0
+
+
+class TestFragmentBuffer:
+    def test_select_preserves_order(self, flat_scene):
+        fragments = flat_scene.fragments()
+        mask = fragments.x < 8
+        subset = fragments.select(mask)
+        assert len(subset) == int(mask.sum())
+        assert (np.diff(subset.triangle) >= 0).all()
+
+    def test_concatenate_empty(self):
+        assert len(FragmentBuffer.concatenate([], 3)) == 0
+
+    def test_mismatched_columns_rejected(self):
+        import pytest as _pytest
+        from repro.errors import ConfigurationError
+
+        z3 = np.zeros(3)
+        z2 = np.zeros(2)
+        with _pytest.raises(ConfigurationError):
+            FragmentBuffer(z3, z3, z3, z3, z3, z3, z2, 1)
+
+    def test_iter_rows_matches_columns(self, flat_scene):
+        fragments = flat_scene.fragments().select(np.arange(5))
+        rows = list(fragments.iter_rows())
+        assert len(rows) == 5
+        assert rows[0][0] == int(fragments.x[0])

@@ -1,0 +1,187 @@
+"""Tests for procedural textures and the framebuffer renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Scene, Triangle, Vertex
+from repro.render import (
+    CheckerTexture,
+    GradientTexture,
+    NoiseTexture,
+    default_palette,
+    render_scene,
+)
+from repro.texture.texture import MipmappedTexture
+from tests.conftest import quad
+
+
+def gradient_scene(size=64, texel_scale=1.0, z=0.0):
+    """The whole screen mapped 1:1 onto one gradient texture."""
+    scene = Scene("grad", size, size, [MipmappedTexture(64, 64)])
+    for tri in quad(0, 0, size, texel_scale=texel_scale):
+        scene.add(
+            Triangle(
+                Vertex(tri.v0.x, tri.v0.y, tri.v0.u, tri.v0.v, z),
+                Vertex(tri.v1.x, tri.v1.y, tri.v1.u, tri.v1.v, z),
+                Vertex(tri.v2.x, tri.v2.y, tri.v2.u, tri.v2.v, z),
+            )
+        )
+    return scene
+
+
+class TestProceduralTextures:
+    def run_texture(self, texture, n=4, width=64):
+        level = np.zeros(n, dtype=np.int64)
+        i = np.arange(n, dtype=np.int64)
+        j = np.zeros(n, dtype=np.int64)
+        w = np.full(n, width, dtype=np.int64)
+        return texture.texel_colors(level, i, j, w, w)
+
+    def test_checker_alternates(self):
+        checker = CheckerTexture(checks=64)  # one texel per check at 64 wide
+        colors = self.run_texture(checker, n=4, width=64)
+        assert (colors[0] == colors[2]).all()
+        assert not (colors[0] == colors[1]).all()
+
+    def test_checker_deep_levels_converge_to_mean(self):
+        checker = CheckerTexture(color_a=(1, 1, 1), color_b=(0, 0, 0))
+        level = np.array([10], dtype=np.int64)
+        ones = np.ones(1, dtype=np.int64)
+        color = checker.texel_colors(level, ones, ones, ones, ones)
+        assert color[0] == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_checker_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckerTexture(checks=0)
+
+    def test_gradient_is_linear_in_coordinates(self):
+        colors = self.run_texture(GradientTexture(), n=64, width=64)
+        expected = (np.arange(64) + 0.5) / 64
+        assert colors[:, 0] == pytest.approx(expected)
+
+    def test_noise_is_deterministic_and_in_range(self):
+        noise = NoiseTexture(seed=3)
+        a = self.run_texture(noise, n=16)
+        b = self.run_texture(noise, n=16)
+        assert (a == b).all()
+        assert (a >= 0).all() and (a <= 1).all()
+        # Not constant.
+        assert a[:, 0].std() > 0
+
+    def test_default_palette_variety(self):
+        palette = default_palette(6)
+        assert len(palette) == 6
+        kinds = {type(texture).__name__ for texture in palette}
+        assert len(kinds) == 3
+        with pytest.raises(ConfigurationError):
+            default_palette(0)
+
+
+class TestRenderScene:
+    def test_output_shape_and_background(self):
+        scene = Scene("empty", 16, 8, [MipmappedTexture(8, 8)])
+        image = render_scene(scene)
+        assert image.shape == (8, 16, 3)
+        assert image.dtype == np.uint8
+        # Uncovered screen stays at the background colour.
+        assert len(np.unique(image.reshape(-1, 3), axis=0)) == 1
+
+    def test_gradient_reproduced_exactly(self):
+        """The filtering oracle: a linear texture pattern sampled at
+        1:1 with bilinear filtering must come back linear in x."""
+        scene = gradient_scene()
+        image = render_scene(scene, [GradientTexture()]).astype(float) / 255.0
+        red_row = image[32, :, 0]
+        expected = (np.arange(64) + 0.5) / 64
+        assert red_row == pytest.approx(expected, abs=2 / 255)
+
+    def test_trilinear_blend_under_minification(self):
+        """At texel_scale 2 the sampler blends level 1; the gradient is
+        linear at every level, so the result must stay the ramp."""
+        scene = gradient_scene(texel_scale=2.0)
+        image = render_scene(scene, [GradientTexture()]).astype(float) / 255.0
+        red_row = image[32, :, 0]
+        expected = 2 * (np.arange(64) + 0.5) / 64 % 1.0
+        # Wrapping makes the tail ramp restart; compare the first half.
+        assert red_row[:30] == pytest.approx(expected[:30], abs=0.03)
+
+    def test_depth_test_keeps_closest(self):
+        scene = Scene("two", 16, 16, [MipmappedTexture(8, 8), MipmappedTexture(8, 8)])
+        far_quad = quad(0, 0, 16, texture=0)
+        near_quad = quad(0, 0, 16, texture=1)
+        for tri in far_quad:
+            scene.add(Triangle(
+                Vertex(tri.v0.x, tri.v0.y, tri.v0.u, tri.v0.v, 5.0),
+                Vertex(tri.v1.x, tri.v1.y, tri.v1.u, tri.v1.v, 5.0),
+                Vertex(tri.v2.x, tri.v2.y, tri.v2.u, tri.v2.v, 5.0),
+                texture=0,
+            ))
+        for tri in near_quad:
+            scene.add(Triangle(
+                Vertex(tri.v0.x, tri.v0.y, tri.v0.u, tri.v0.v, 1.0),
+                Vertex(tri.v1.x, tri.v1.y, tri.v1.u, tri.v1.v, 1.0),
+                Vertex(tri.v2.x, tri.v2.y, tri.v2.u, tri.v2.v, 1.0),
+                texture=1,
+            ))
+        white = CheckerTexture((1, 1, 1), (1, 1, 1))
+        black = CheckerTexture((0, 0, 0), (0, 0, 0))
+        with_z = render_scene(scene, [white, black], depth_test=True)
+        assert with_z[8, 8].tolist() == [0, 0, 0]  # near (black) wins
+        # Painter's order: the near quad was submitted last, same result;
+        # reverse submission shows the difference.
+        reversed_scene = Scene(
+            "rev", 16, 16, [MipmappedTexture(8, 8), MipmappedTexture(8, 8)]
+        )
+        for tri in scene.triangles[2:] + scene.triangles[:2]:
+            reversed_scene.add(tri)
+        painter = render_scene(reversed_scene, [white, black], depth_test=False)
+        zbuffer = render_scene(reversed_scene, [white, black], depth_test=True)
+        assert painter[8, 8].tolist() == [255, 255, 255]  # far drawn last
+        assert zbuffer[8, 8].tolist() == [0, 0, 0]        # z still wins
+
+    def test_palette_size_validated(self):
+        scene = Scene("two", 8, 8, [MipmappedTexture(8, 8), MipmappedTexture(8, 8)])
+        with pytest.raises(ConfigurationError):
+            render_scene(scene, [GradientTexture()])
+
+    def test_renders_generated_benchmark_scene(self, tiny_bench_scene):
+        image = render_scene(tiny_bench_scene)
+        assert image.shape == (tiny_bench_scene.height, tiny_bench_scene.width, 3)
+        # The frame is mostly covered: background shouldn't dominate.
+        background = np.array([int(0.05 * 255 + 0.5)] * 2 + [int(0.08 * 255 + 0.5)])
+        covered = (image != background).any(axis=2).mean()
+        assert covered > 0.9
+
+
+class TestNodeViews:
+    def test_composite_reproduces_full_frame(self, tiny_bench_scene):
+        """The ideal video merge: node views partition the frame."""
+        from repro.distribution import BlockInterleaved
+        from repro.render import render_node_views, render_scene
+        from repro.render.procedural import default_palette
+
+        palette = default_palette(len(tiny_bench_scene.textures))
+        dist = BlockInterleaved(4, 16)
+        full = render_scene(tiny_bench_scene, palette)
+        views = render_node_views(tiny_bench_scene, dist, palette)
+        assert len(views) == 4
+
+        owners = dist.owner_map(tiny_bench_scene.width, tiny_bench_scene.height)
+        composite = np.zeros_like(full)
+        for node, view in enumerate(views):
+            mask = owners == node
+            composite[mask] = view[mask]
+        assert (composite == full).all()
+
+    def test_node_views_disjoint_content(self, tiny_bench_scene):
+        from repro.distribution import ScanLineInterleaved
+        from repro.render import render_node_views
+        from repro.render.procedural import default_palette
+
+        palette = default_palette(len(tiny_bench_scene.textures))
+        dist = ScanLineInterleaved(2, 1)
+        views = render_node_views(tiny_bench_scene, dist, palette)
+        # Node 0 owns even rows: node 1's even rows are background.
+        assert (views[1][0] == views[1][0][0]).all()
+        assert (views[0][1] == views[0][1][0]).all()

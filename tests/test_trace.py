@@ -1,0 +1,125 @@
+"""Tests for the triangle-trace file format."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.geometry import Scene, Triangle, Vertex, load_trace, save_trace
+from repro.texture.texture import MipmappedTexture
+
+
+def sample_scene() -> Scene:
+    scene = Scene(
+        "demo", 320, 200, [MipmappedTexture(64, 64), MipmappedTexture(16, 16)]
+    )
+    scene.add(
+        Triangle(
+            Vertex(0.5, 1.25, 3.0, 4.0),
+            Vertex(10, 1, 13, 4),
+            Vertex(0, 11, 3, 14),
+            texture=1,
+        )
+    )
+    scene.add(
+        Triangle(Vertex(50, 50), Vertex(60, 50), Vertex(50, 60), texture=0)
+    )
+    return scene
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    path = tmp_path / "demo.trace"
+    original = sample_scene()
+    save_trace(original, path)
+    loaded = load_trace(path)
+
+    assert loaded.name == original.name
+    assert (loaded.width, loaded.height) == (original.width, original.height)
+    assert len(loaded.textures) == len(original.textures)
+    for mine, theirs in zip(loaded.textures, original.textures):
+        assert (mine.width, mine.height) == (theirs.width, theirs.height)
+    assert loaded.num_triangles == original.num_triangles
+    for mine, theirs in zip(loaded.triangles, original.triangles):
+        assert mine.texture == theirs.texture
+        for vm, vt in zip(mine.vertices, theirs.vertices):
+            assert vm.x == pytest.approx(vt.x, abs=1e-4)
+            assert vm.u == pytest.approx(vt.u, abs=1e-4)
+
+
+def test_roundtrip_of_generated_scene_matches_rasterization(tmp_path, tiny_bench_scene):
+    path = tmp_path / "bench.trace"
+    save_trace(tiny_bench_scene, path)
+    loaded = load_trace(path)
+    # The trace stores coordinates at 1e-4 precision; fragment counts of
+    # the replayed trace must match the live scene almost exactly.
+    original = len(tiny_bench_scene.fragments())
+    replayed = len(loaded.fragments())
+    assert abs(replayed - original) <= max(2, original * 0.001)
+
+
+def test_rejects_non_trace_file(tmp_path):
+    path = tmp_path / "junk.trace"
+    path.write_text("hello world\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_rejects_wrong_version(tmp_path):
+    path = tmp_path / "future.trace"
+    path.write_text("REPRO-TRACE 999\nscene x\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_rejects_truncated_file(tmp_path):
+    path = tmp_path / "cut.trace"
+    full = tmp_path / "full.trace"
+    save_trace(sample_scene(), full)
+    lines = full.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_rejects_malformed_record(tmp_path):
+    path = tmp_path / "bad.trace"
+    text = (
+        "REPRO-TRACE 1\nscene s\nscreen 10 10\ntextures 1\n"
+        "texture 8 8\ntriangles 1\ntri 0 1 2 3\n"
+    )
+    path.write_text(text)
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_trace_round_trips_depth(tmp_path):
+    from repro.geometry import Triangle, Vertex
+
+    scene = Scene("depths", 32, 32, [MipmappedTexture(8, 8)])
+    scene.add(
+        Triangle(
+            Vertex(0, 0, z=1.5), Vertex(10, 0, z=2.5), Vertex(0, 10, z=3.5)
+        )
+    )
+    path = tmp_path / "z.trace"
+    save_trace(scene, path)
+    loaded = load_trace(path)
+    zs = [v.z for v in loaded.triangles[0].vertices]
+    assert zs == pytest.approx([1.5, 2.5, 3.5], abs=1e-4)
+
+
+def test_version_one_traces_still_load(tmp_path):
+    text = (
+        "REPRO-TRACE 1\n"
+        "scene old\n"
+        "screen 10 10\n"
+        "textures 1\n"
+        "texture 8 8\n"
+        "triangles 1\n"
+        "tri 0 0 0 1 2 5 0 3 4 0 5 5 6\n"
+    )
+    path = tmp_path / "old.trace"
+    path.write_text(text)
+    scene = load_trace(path)
+    assert scene.name == "old"
+    assert scene.num_triangles == 1
+    first = scene.triangles[0].v0
+    assert (first.x, first.y, first.u, first.v, first.z) == (0, 0, 1, 2, 0.0)

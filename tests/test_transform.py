@@ -1,0 +1,180 @@
+"""Tests for the 3D geometry-processing stage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.transform import (
+    Camera,
+    Triangle3D,
+    Vertex3D,
+    look_at,
+    perspective,
+    project_triangle,
+    project_triangles,
+    textured_quad_3d,
+)
+
+CAMERA = Camera(
+    eye=(0, 0, 10),
+    target=(0, 0, 0),
+    fov_y_degrees=90.0,
+    viewport_width=200,
+    viewport_height=100,
+)
+
+
+class TestMatrices:
+    def test_look_at_maps_target_onto_minus_z(self):
+        view = look_at((0, 0, 10), (0, 0, 0))
+        eye_space = view @ np.array([0, 0, 0, 1])
+        assert eye_space[:3] == pytest.approx([0, 0, -10])
+
+    def test_look_at_preserves_distances(self):
+        view = look_at((3, 4, 5), (0, 1, 0), up=(0, 1, 0))
+        a = view @ np.array([1, 2, 3, 1.0])
+        b = view @ np.array([-1, 0, 2, 1.0])
+        original = np.linalg.norm(np.array([1, 2, 3]) - np.array([-1, 0, 2]))
+        assert np.linalg.norm(a[:3] - b[:3]) == pytest.approx(original)
+
+    def test_look_at_rejects_degenerate_setups(self):
+        with pytest.raises(ConfigurationError):
+            look_at((0, 0, 0), (0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            look_at((0, 0, 10), (0, 0, 0), up=(0, 0, 1))
+
+    def test_perspective_near_far_mapping(self):
+        projection = perspective(90, 1.0, 1.0, 100.0)
+        near_point = projection @ np.array([0, 0, -1, 1.0])
+        far_point = projection @ np.array([0, 0, -100, 1.0])
+        assert near_point[2] / near_point[3] == pytest.approx(-1.0)
+        assert far_point[2] / far_point[3] == pytest.approx(1.0)
+
+    def test_perspective_validation(self):
+        with pytest.raises(ConfigurationError):
+            perspective(0, 1, 0.1, 10)
+        with pytest.raises(ConfigurationError):
+            perspective(60, 1, 5, 1)
+
+
+class TestProjection:
+    def test_centre_of_view_lands_at_screen_centre(self):
+        tri = Triangle3D(
+            Vertex3D(-1, -1, 0), Vertex3D(1, -1, 0), Vertex3D(0, 1, 0)
+        )
+        screen = project_triangle(tri, CAMERA, cull_backfaces=False)
+        assert screen
+        xs = [v.x for t in screen for v in t.vertices]
+        ys = [v.y for t in screen for v in t.vertices]
+        assert min(xs) > 80 and max(xs) < 120
+        assert min(ys) > 35 and max(ys) < 65
+
+    def test_known_point_position(self):
+        # fov 90, eye at z=10: the plane z=0 spans y in [-10, 10].
+        tri = Triangle3D(
+            Vertex3D(0, 10, 0), Vertex3D(-1, 9, 0), Vertex3D(1, 9, 0)
+        )
+        screen = project_triangle(tri, CAMERA, cull_backfaces=False)
+        tip = screen[0].v0
+        assert tip.y == pytest.approx(0.0, abs=1e-9)   # top of screen
+        assert tip.x == pytest.approx(100.0, abs=1e-9)  # horizontal centre
+
+    def test_nearer_objects_project_larger(self):
+        def width_at(z):
+            tri = Triangle3D(
+                Vertex3D(-1, 0, z), Vertex3D(1, 0, z), Vertex3D(0, 1, z)
+            )
+            screen = project_triangle(tri, CAMERA, cull_backfaces=False)
+            xs = [v.x for t in screen for v in t.vertices]
+            return max(xs) - min(xs)
+
+        assert width_at(5) > width_at(0) > width_at(-20)
+
+    def test_triangle_behind_camera_is_culled(self):
+        tri = Triangle3D(
+            Vertex3D(-1, 0, 20), Vertex3D(1, 0, 20), Vertex3D(0, 1, 20)
+        )
+        assert project_triangle(tri, CAMERA, cull_backfaces=False) == []
+
+    def test_near_plane_clip_splits_crossing_triangle(self):
+        # One vertex behind the camera, two in front.
+        tri = Triangle3D(
+            Vertex3D(0, 0, 15), Vertex3D(-2, 0, 0), Vertex3D(2, 0.5, 0)
+        )
+        screen = project_triangle(tri, CAMERA, cull_backfaces=False)
+        assert 1 <= len(screen) <= 2
+        for t in screen:
+            for v in t.vertices:
+                assert math.isfinite(v.x) and math.isfinite(v.y)
+
+    def test_backface_culling(self):
+        front = Triangle3D(
+            Vertex3D(-1, -1, 0), Vertex3D(1, -1, 0), Vertex3D(0, 1, 0)
+        )
+        back = Triangle3D(front.v1, front.v0, front.v2, texture=0)
+        front_screen = project_triangle(front, CAMERA, cull_backfaces=True)
+        back_screen = project_triangle(back, CAMERA, cull_backfaces=True)
+        # Exactly one of the two windings survives culling.
+        assert bool(front_screen) != bool(back_screen)
+
+    def test_texture_coordinates_carried_through(self):
+        tri = Triangle3D(
+            Vertex3D(-1, -1, 0, u=3, v=4),
+            Vertex3D(1, -1, 0, u=5, v=4),
+            Vertex3D(0, 1, 0, u=4, v=6),
+            texture=2,
+        )
+        screen = project_triangle(tri, CAMERA, cull_backfaces=False)
+        assert screen[0].texture == 2
+        assert {round(v.u, 6) for v in screen[0].vertices} == {3, 5, 4}
+
+    def test_project_triangles_preserves_order(self):
+        tris = [
+            Triangle3D(
+                Vertex3D(-1, -1, z), Vertex3D(1, -1, z), Vertex3D(0, 1, z),
+                texture=i,
+            )
+            for i, z in enumerate((0, 1, 2))
+        ]
+        screen = project_triangles(tris, CAMERA, cull_backfaces=False)
+        assert [t.texture for t in screen] == [0, 1, 2]
+
+
+class TestTexturedQuad3D:
+    def test_quad_spans_texture_by_scale(self):
+        quads = textured_quad_3d(
+            corner=(0, 0, 0), edge_u=(4, 0, 0), edge_v=(0, 3, 0), texel_scale=2.0
+        )
+        assert len(quads) == 2
+        us = [v.u for t in quads for v in t.vertices]
+        vs = [v.v for t in quads for v in t.vertices]
+        assert max(us) - min(us) == pytest.approx(8.0)   # 4 units * 2 texels
+        assert max(vs) - min(vs) == pytest.approx(6.0)
+
+    def test_quad_end_to_end_through_pipeline(self):
+        """World quad -> projection -> rasterizer -> fragments."""
+        from repro.geometry.scene import Scene
+        from repro.texture.texture import MipmappedTexture
+
+        quads = textured_quad_3d(
+            corner=(-4, -4, 0), edge_u=(8, 0, 0), edge_v=(0, 8, 0)
+        )
+        screen = project_triangles(quads, CAMERA, cull_backfaces=False)
+        scene = Scene("pipeline", 200, 100, [MipmappedTexture(64, 64)], screen)
+        fragments = scene.fragments()
+        assert len(fragments) > 100
+
+
+class TestDepthOutput:
+    def test_projected_depth_orders_by_distance(self):
+        near = Triangle3D(
+            Vertex3D(-1, 0, 5), Vertex3D(1, 0, 5), Vertex3D(0, 1, 5)
+        )
+        far = Triangle3D(
+            Vertex3D(-1, 0, -20), Vertex3D(1, 0, -20), Vertex3D(0, 1, -20)
+        )
+        z_near = project_triangle(near, CAMERA, cull_backfaces=False)[0].v0.z
+        z_far = project_triangle(far, CAMERA, cull_backfaces=False)[0].v0.z
+        assert 0.0 <= z_near < z_far <= 1.0
