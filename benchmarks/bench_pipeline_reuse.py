@@ -1,0 +1,58 @@
+"""Artifact-store reuse on a Figure-7-style sweep.
+
+Runs the full sweep grid (every scene, both distribution families,
+{4, 16, 64} processors) twice in one process.  The first pass computes
+every stage; the second rides the memoized artifact store, so its wall
+time is the pipeline's bookkeeping overhead.  The report prints the
+measured ratio and the per-stage hit counters alongside the benchmark
+timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import PROCESSOR_COUNTS, run_once
+from repro import pipeline
+from repro.core.routing import build_routed_work
+from repro.distribution import BlockInterleaved, ScanLineInterleaved
+from repro.workloads.scenes import SCENE_NAMES, build_scene
+
+
+def _sweep(scale: float) -> int:
+    points = 0
+    for name in SCENE_NAMES:
+        scene = build_scene(name, scale)
+        for processors in PROCESSOR_COUNTS:
+            for dist in (
+                BlockInterleaved(processors, 16),
+                ScanLineInterleaved(processors, 2),
+            ):
+                build_routed_work(scene, dist)
+                points += 1
+    return points
+
+
+def bench_pipeline_reuse(benchmark, scale, results_writer):
+    pipeline.configure()  # fresh store: measure a true cold pass
+
+    def cold_then_warm() -> str:
+        started = time.perf_counter()
+        points = _sweep(scale)
+        cold = time.perf_counter() - started
+
+        started = time.perf_counter()
+        _sweep(scale)
+        warm = time.perf_counter() - started
+
+        ratio = cold / warm if warm else float("inf")
+        header = (
+            f"Pipeline artifact reuse, Figure-7-style sweep "
+            f"({points} points, scale={scale})\n"
+            f"cold pass {cold:.3f}s, warm pass {warm:.3f}s — "
+            f"{ratio:.1f}x faster on reuse\n"
+        )
+        return header + "\n" + pipeline.render_stats(pipeline.stats())
+
+    text = run_once(benchmark, cold_then_warm)
+    results_writer("pipeline_reuse", text)

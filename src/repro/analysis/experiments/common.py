@@ -1,0 +1,20 @@
+"""Shared sweep vocabulary of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Paper sweep vocabulary.
+BLOCK_WIDTHS = (4, 8, 16, 32, 64, 128)
+SLI_LINES = (1, 2, 4, 8, 16, 32)
+PROCESSOR_COUNTS = (4, 16, 64)
+ALL_PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+BUFFER_SIZES = (1, 5, 10, 20, 50, 100, 500, 10000)
+FIG8_WIDTHS = (2, 4, 8, 16, 32, 64, 128)
+
+FAMILY_SIZES = {"block": BLOCK_WIDTHS, "sli": SLI_LINES}
+FAMILY_ROW_LABEL = {"block": "width", "sli": "lines"}
+
+
+def family_sizes(family: str) -> Tuple[int, ...]:
+    return FAMILY_SIZES[family]

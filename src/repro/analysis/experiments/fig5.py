@@ -1,0 +1,47 @@
+"""Figure 5: load imbalance and perfect-cache speedup."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments.common import ALL_PROCESSOR_COUNTS, FAMILY_ROW_LABEL, family_sizes
+from repro.analysis.experiments.registry import register
+from repro.analysis.load_balance import imbalance_sweep
+from repro.analysis.performance import SpeedupStudy
+from repro.analysis.tables import format_series, format_table
+from repro.workloads import SCENE_NAMES, build_scene
+
+
+def fig5_imbalance(family: str, scale: float, processors: int = 64) -> str:
+    """Figure 5 (top): % work imbalance at 64 processors, perfect cache."""
+    sizes = family_sizes(family)
+    rows = []
+    for name in SCENE_NAMES:
+        scene = build_scene(name, scale)
+        sweep = imbalance_sweep(scene, family, sizes, processors)
+        rows.append([name] + [round(sweep[size], 1) for size in sizes])
+    prefix = "w" if family == "block" else "l"
+    table = format_table(["scene"] + [f"{prefix}{s}" for s in sizes], rows)
+    return (
+        f"Figure 5 (top, {family}): % imbalance, {processors} processors "
+        f"(scale={scale})\n{table}"
+    )
+
+
+def fig5_speedup(family: str, scale: float, scene_name: str = "massive32_1255") -> str:
+    """Figure 5 (bottom): perfect-cache speedup vs processors."""
+    study = SpeedupStudy(build_scene(scene_name, scale), cache="perfect")
+    sweep = study.sweep(family, family_sizes(family), ALL_PROCESSOR_COUNTS)
+    rounded = {key: round(value, 2) for key, value in sweep.items()}
+    return format_series(
+        f"Figure 5 (bottom, {family}): perfect-cache speedup, {scene_name} "
+        f"(scale={scale})",
+        rounded,
+        row_label=FAMILY_ROW_LABEL[family],
+    )
+
+
+register("fig5-imbalance", "load imbalance, both distributions")(
+    lambda scale: fig5_imbalance("block", scale) + "\n\n" + fig5_imbalance("sli", scale)
+)
+register("fig5-speedup", "perfect-cache speedup vs processors")(
+    lambda scale: fig5_speedup("block", scale) + "\n\n" + fig5_speedup("sli", scale)
+)

@@ -1,0 +1,36 @@
+"""Figure 8: the triangle-buffer study."""
+
+from __future__ import annotations
+
+from repro.analysis.buffering import buffer_sweep
+from repro.analysis.experiments.common import BUFFER_SIZES, FIG8_WIDTHS
+from repro.analysis.experiments.registry import register
+from repro.analysis.tables import format_series
+from repro.workloads import build_scene
+
+
+def fig8(cache: str, scale: float, bus_ratio: float = 2.0) -> str:
+    """Figure 8: speedup vs block width and triangle-buffer size."""
+    scene = build_scene("truc640", scale)
+    sweep = buffer_sweep(
+        scene,
+        "block",
+        sizes=FIG8_WIDTHS,
+        buffer_sizes=BUFFER_SIZES,
+        num_processors=64,
+        cache=cache,
+        bus_ratio=bus_ratio,
+    )
+    rounded = {key: round(value, 2) for key, value in sweep.items()}
+    label = "perfect cache" if cache == "perfect" else f"16KB cache + {bus_ratio:g}x bus"
+    return format_series(
+        f"Figure 8: speedup, truc640, 64P block, {label} (scale={scale})",
+        rounded,
+        row_label="width",
+        column_label="buffer",
+    )
+
+
+register("fig8", "triangle-buffer study")(
+    lambda scale: fig8("perfect", scale) + "\n\n" + fig8("lru", scale)
+)

@@ -1,0 +1,37 @@
+"""The experiment registry: CLI names → (description, runner).
+
+Each per-experiment module registers its entries at import time with
+:func:`register`; the CLI and the benchmark harness resolve names
+through :data:`EXPERIMENTS` / :func:`resolve`.  Splitting the registry
+from the experiments keeps every module independently importable (a
+sweep worker importing ``fig7`` does not drag in the prefetch study).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Registry for the CLI: name -> (description, callable(scale) -> text).
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[float], str]]] = {}
+
+
+def register(name: str, description: str) -> Callable:
+    """Decorator registering ``runner(scale) -> str`` under ``name``."""
+
+    def decorator(runner: Callable[[float], str]) -> Callable[[float], str]:
+        if name in EXPERIMENTS:
+            raise ConfigurationError(f"experiment {name!r} registered twice")
+        EXPERIMENTS[name] = (description, runner)
+        return runner
+
+    return decorator
+
+
+def resolve(name: str) -> Tuple[str, Callable[[float], str]]:
+    """Look up one experiment, with a helpful error for unknown names."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ConfigurationError(f"unknown experiment {name!r}; choose from {known}")
+    return EXPERIMENTS[name]

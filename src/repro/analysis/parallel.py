@@ -5,6 +5,12 @@ independent cache replays; this helper fans the per-scene panels out
 over worker processes.  Workers rebuild scenes from their (name,
 scale) identity — scenes are deterministic — so nothing heavyweight is
 pickled.
+
+Before pooling, the parent spills its in-memory pipeline artifacts to
+a shared on-disk store (creating a temporary one when
+``REPRO_ARTIFACT_DIR`` is unset) so workers hydrate already-computed
+scene/routing/replay stages instead of recomputing them, and artifacts
+computed by one worker are visible to the others.
 """
 
 from __future__ import annotations
@@ -45,6 +51,10 @@ def run_tasks(
     """
     if workers <= 1:
         return [fn(*arguments) for arguments in argument_tuples]
+    from repro import pipeline
+
+    pipeline.ensure_shared_store()
+    pipeline.store().flush_to_disk()
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, *arguments) for arguments in argument_tuples]
         return [future.result() for future in futures]

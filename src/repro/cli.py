@@ -13,12 +13,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS
+from repro.errors import ConfigurationError, ReproError
 from repro.workloads.scenes import experiment_scale
 
 #: Utility commands handled outside the experiment registry.
@@ -78,7 +80,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=16,
         help="block width for replay-trace (default: 16)",
     )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "worker processes for parallel sweeps, 0 runs inline "
+            "(overrides the REPRO_WORKERS env var)"
+        ),
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-stage pipeline timings and artifact hit rates at exit",
+    )
     return parser
+
+
+def _apply_workers(raw: str) -> None:
+    """Validate ``--workers`` and export it as ``REPRO_WORKERS``."""
+    from repro.analysis.parallel import WORKERS_ENV_VAR
+
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"--workers must be an int, got {raw!r}") from exc
+    if workers < 0:
+        raise ConfigurationError(f"--workers must be >= 0, got {workers}")
+    os.environ[WORKERS_ENV_VAR] = str(workers)
 
 
 def _run_one(name: str, scale: float, out: Optional[Path]) -> None:
@@ -153,19 +181,28 @@ def _run_batch(args) -> int:
     return 0
 
 
+def _print_timings() -> None:
+    from repro import pipeline
+
+    print(pipeline.render_stats(pipeline.stats()))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _main(argv)
     except BrokenPipeError:
         # Output was piped into something like `head`; exit quietly.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.workers is not None:
+        _apply_workers(args.workers)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -179,27 +216,30 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     if args.experiment == "dump-trace":
-        return _dump_trace(args, scale)
-    if args.experiment == "replay-trace":
-        return _replay_trace(args)
-    if args.experiment == "batch":
-        return _run_batch(args)
-
-    if args.experiment == "all":
-        names = list(EXPERIMENTS)
-    elif args.experiment in EXPERIMENTS:
-        names = [args.experiment]
+        status = _dump_trace(args, scale)
+    elif args.experiment == "replay-trace":
+        status = _replay_trace(args)
+    elif args.experiment == "batch":
+        status = _run_batch(args)
     else:
-        known = ", ".join(list(EXPERIMENTS) + list(_COMMANDS))
-        print(
-            f"error: unknown experiment {args.experiment!r}; choose from {known}",
-            file=sys.stderr,
-        )
-        return 2
+        if args.experiment == "all":
+            names = list(EXPERIMENTS)
+        elif args.experiment in EXPERIMENTS:
+            names = [args.experiment]
+        else:
+            known = ", ".join(list(EXPERIMENTS) + list(_COMMANDS))
+            print(
+                f"error: unknown experiment {args.experiment!r}; choose from {known}",
+                file=sys.stderr,
+            )
+            return 2
+        for name in names:
+            _run_one(name, scale, args.out)
+        status = 0
 
-    for name in names:
-        _run_one(name, scale, args.out)
-    return 0
+    if args.timings:
+        _print_timings()
+    return status
 
 
 if __name__ == "__main__":

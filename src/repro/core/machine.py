@@ -6,7 +6,15 @@ through its private cache, then run the timing model.  Two timing paths
 exist — an exact fast path for machines whose triangle FIFO never fills
 (the paper's default 10 000-entry buffer) and the event-driven path for
 the finite-buffer study — and they agree cycle for cycle on the
-never-full case.
+never-full case (``timing_mode`` lets tests force either path to
+enforce that claim).
+
+Everything upstream of the timing model is a pipeline artifact
+(:mod:`repro.pipeline`): ``build_routed_work`` memoizes the routing
+plan and cache replay by content identity, so timing-only sweeps (FIFO
+depth, bus ratio) and repeated sweep points pay for their shared
+prefixes once.  The timing model itself is instrumented under the
+``timing`` stage of ``pipeline.stats()``.
 """
 
 from __future__ import annotations
@@ -23,7 +31,11 @@ from repro.core.node import drain_node
 from repro.core.results import MachineResult, NodeTimings
 from repro.core.routing import RoutedWork, build_routed_work
 from repro.distribution.single import SingleProcessor
+from repro.errors import ConfigurationError
 from repro.geometry.scene import Scene
+
+#: Valid ``timing_mode`` arguments of :func:`simulate_machine`.
+TIMING_MODES = ("auto", "fast", "event")
 
 
 def _fifo_is_effectively_infinite(config: MachineConfig, work: RoutedWork) -> bool:
@@ -37,12 +49,24 @@ def simulate_machine(
     config: MachineConfig,
     baseline_cycles: Optional[float] = None,
     routed: Optional[RoutedWork] = None,
+    timing_mode: str = "auto",
 ) -> MachineResult:
     """Simulate one frame of ``scene`` on the configured machine.
 
     ``routed`` lets callers that sweep timing-only parameters (FIFO
     size, bus ratio) reuse one routing/cache replay across runs.
+    ``timing_mode`` selects the timing path: ``"auto"`` (the default)
+    takes the exact fast path whenever the FIFO can never fill,
+    ``"fast"`` forces it (only exact on a never-full machine) and
+    ``"event"`` forces the event-driven path — the two must agree
+    cycle for cycle on a never-full machine.
     """
+    if timing_mode not in TIMING_MODES:
+        raise ConfigurationError(
+            f"timing_mode must be one of {TIMING_MODES}, got {timing_mode!r}"
+        )
+    from repro.pipeline import stage_timer
+
     work = routed or build_routed_work(
         scene,
         config.distribution,
@@ -58,59 +82,53 @@ def simulate_machine(
             scene.num_triangles, config.geometry_engines, config.geometry_cycles
         )
 
-    if _fifo_is_effectively_infinite(config, work):
-        finish = np.zeros(n)
-        busy = np.zeros(n)
-        stall = np.zeros(n)
-        for node in range(n):
-            arrivals = release[work.triangles[node]] if release is not None else None
-            timing = drain_node(
-                work.pixels[node],
-                work.texels[node],
+    if timing_mode == "auto":
+        use_fast = _fifo_is_effectively_infinite(config, work)
+    else:
+        use_fast = timing_mode == "fast"
+
+    extras: dict = {}
+    with stage_timer("timing"):
+        if use_fast:
+            finish = np.zeros(n)
+            busy = np.zeros(n)
+            stall = np.zeros(n)
+            for node in range(n):
+                arrivals = release[work.triangles[node]] if release is not None else None
+                timing = drain_node(
+                    work.pixels[node],
+                    work.texels[node],
+                    config.setup_cycles,
+                    config.bus_ratio,
+                    arrivals=arrivals,
+                )
+                finish[node] = timing.finish
+                busy[node] = timing.busy_cycles
+                stall[node] = timing.stall_cycles
+            cycles = float(finish.max()) if n else 0.0
+        else:
+            stream = interleave_stream(work.triangles, work.pixels, work.texels)
+            event_stats: dict = {}
+            cycles, node_finish = run_event_machine(
+                stream,
+                n,
+                config.fifo_capacity,
                 config.setup_cycles,
                 config.bus_ratio,
-                arrivals=arrivals,
+                release=release,
+                stats=event_stats,
             )
-            finish[node] = timing.finish
-            busy[node] = timing.busy_cycles
-            stall[node] = timing.stall_cycles
-        cycles = float(finish.max()) if n else 0.0
-    else:
-        stream = interleave_stream(work.triangles, work.pixels, work.texels)
-        event_stats: dict = {}
-        cycles, node_finish = run_event_machine(
-            stream,
-            n,
-            config.fifo_capacity,
-            config.setup_cycles,
-            config.bus_ratio,
-            release=release,
-            stats=event_stats,
-        )
-        finish = np.asarray(node_finish)
-        busy = np.array([np.maximum(p, config.setup_cycles).sum() for p in work.pixels], dtype=float)
-        stall = finish - busy
-        extras = {
-            "distributor_blocked_cycles": event_stats.get("blocked_cycles", 0.0),
-            "distributor_blocked_per_node": event_stats.get("blocked_per_node"),
-            "fifo_high_water": event_stats.get("fifo_high_water"),
-        }
-        cache_model = make_cache_model(config.cache, config.cache_config)
-        return MachineResult(
-            scene_name=scene.name,
-            distribution=config.distribution.describe(),
-            cache_name=cache_model.name,
-            bus_ratio=config.bus_ratio,
-            fifo_capacity=config.fifo_capacity,
-            num_processors=n,
-            cycles=cycles,
-            timings=NodeTimings(finish=finish, busy=busy, stall=stall),
-            node_pixels=work.node_pixels,
-            node_work=work.node_work,
-            cache=work.cache,
-            baseline_cycles=baseline_cycles,
-            extras=extras,
-        )
+            finish = np.asarray(node_finish)
+            busy = np.array(
+                [np.maximum(p, config.setup_cycles).sum() for p in work.pixels],
+                dtype=float,
+            )
+            stall = finish - busy
+            extras = {
+                "distributor_blocked_cycles": event_stats.get("blocked_cycles", 0.0),
+                "distributor_blocked_per_node": event_stats.get("blocked_per_node"),
+                "fifo_high_water": event_stats.get("fifo_high_water"),
+            }
 
     cache_model = make_cache_model(config.cache, config.cache_config)
     return MachineResult(
@@ -126,6 +144,7 @@ def simulate_machine(
         node_work=work.node_work,
         cache=work.cache,
         baseline_cycles=baseline_cycles,
+        extras=extras,
     )
 
 

@@ -4,6 +4,15 @@ Turns (scene, distribution) into per-node work lists: for every node,
 the triangles routed to it (bounding-box routing, in submission order)
 with the pixels it will draw of each and — once the cache replay has
 run — the texels each triangle pulls over the node's bus.
+
+The computation is staged for the artifact pipeline: a
+:class:`RoutingPlan` (geometry only — routing lists and the pixel
+matrix) and a :class:`ReplayResult` (per-node cache replay) are
+produced independently and combined into a :class:`RoutedWork` by
+:func:`assemble_routed_work`.  Each stage is memoized by content
+identity in :mod:`repro.pipeline`, so e.g. bbox-vs-coverage routing
+contrasts share one cache replay and a FIFO sweep shares one of
+everything.
 """
 
 from __future__ import annotations
@@ -21,6 +30,38 @@ from repro.distribution.base import Distribution
 from repro.errors import ConfigurationError
 from repro.geometry.scene import Scene
 from repro.texture.filtering import TEXELS_PER_FRAGMENT, TrilinearFilter
+
+
+@dataclass
+class RoutingPlan:
+    """The geometry half of routed work: where triangles and pixels go.
+
+    ``routed[t]`` are the nodes triangle ``t`` is sent to;
+    ``pixel_matrix`` is the flattened (triangle, node) pixel count
+    table; ``node_pixels`` the per-node totals.  Everything here is
+    independent of the cache model, so one plan serves every cache and
+    timing configuration of the same (scene, distribution, routing
+    mode).
+    """
+
+    num_processors: int
+    routed: List[np.ndarray]
+    pixel_matrix: np.ndarray
+    node_pixels: np.ndarray
+
+
+@dataclass
+class ReplayResult:
+    """The cache half of routed work: per-node texture-bus demand.
+
+    ``texels_per_node_tri[n][t]`` is the bus texels triangle ``t``
+    costs node ``n``; ``cache`` aggregates hit/miss behaviour over all
+    nodes.  Independent of the routing mode and of setup/timing
+    parameters.
+    """
+
+    texels_per_node_tri: List[np.ndarray]
+    cache: CacheRunResult
 
 
 @dataclass
@@ -90,32 +131,15 @@ def route_by_coverage(
     return routed
 
 
-def build_routed_work(
+def compute_routing_plan(
     scene: Scene,
     distribution: Distribution,
-    cache_spec="lru",
-    cache_config=None,
-    setup_cycles: int = 25,
-    chunk_size: Optional[int] = None,
-    layout=None,
+    fragments,
     route_by: str = "bbox",
-    fragments=None,
-) -> RoutedWork:
-    """Route a scene and replay every node's stream through its cache.
-
-    ``layout`` overrides the scene's default block-linear texture
-    layout (used by the texture-blocking ablation).  ``route_by`` is
-    ``"bbox"`` (realistic bounding-box routing, the default) or
-    ``"coverage"`` (oracle routing, the ablation contrast).
-    ``fragments`` overrides the scene's rasterisation — the early-Z
-    ablation passes the depth-resolved survivor stream here.
-    """
+) -> RoutingPlan:
+    """Route a fragment stream: the cache-independent half of the work."""
     if route_by not in ("bbox", "coverage"):
         raise ConfigurationError(f"route_by must be bbox or coverage, got {route_by!r}")
-    if fragments is None:
-        fragments = scene.fragments()
-    layout = layout or scene.memory_layout()
-    tex_filter = TrilinearFilter(layout)
     n_proc = distribution.num_processors
     n_tri = scene.num_triangles
 
@@ -129,6 +153,30 @@ def build_routed_work(
         routed = route_triangles(scene, distribution)
     else:
         routed = route_by_coverage(pixel_matrix, n_tri, n_proc)
+
+    return RoutingPlan(
+        num_processors=n_proc,
+        routed=routed,
+        pixel_matrix=pixel_matrix,
+        node_pixels=node_pixels,
+    )
+
+
+def compute_replay(
+    scene: Scene,
+    distribution: Distribution,
+    fragments,
+    cache_spec="lru",
+    cache_config=None,
+    layout=None,
+    chunk_size: Optional[int] = None,
+) -> ReplayResult:
+    """Replay every node's fragment stream through its private cache."""
+    layout = layout or scene.memory_layout()
+    tex_filter = TrilinearFilter(layout)
+    n_proc = distribution.num_processors
+    n_tri = scene.num_triangles
+    owners = distribution.owners(fragments.x, fragments.y)
 
     probe_model = make_cache_model(cache_spec, cache_config)
     total_cache = CacheRunResult(texels_by_triangle=np.zeros(n_tri, dtype=np.int64))
@@ -160,28 +208,95 @@ def build_routed_work(
             total_cache = total_cache.merged_with(run)
             texels_per_node_tri.append(run.texels_by_triangle)
 
-    triangles: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
-    pixels: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
-    texels: List[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(n_proc)]
-    per_node_ids: List[List[int]] = [[] for _ in range(n_proc)]
-    for tri_id, nodes in enumerate(routed):
-        for node in nodes:
-            per_node_ids[int(node)].append(tri_id)
+    return ReplayResult(texels_per_node_tri=texels_per_node_tri, cache=total_cache)
+
+
+def assemble_routed_work(
+    plan: RoutingPlan,
+    replay: ReplayResult,
+    setup_cycles: int = 25,
+) -> RoutedWork:
+    """Combine a routing plan and a cache replay into per-node work lists."""
+    n_proc = plan.num_processors
+    routed = plan.routed
+    if routed:
+        lengths = np.fromiter(
+            (len(nodes) for nodes in routed), dtype=np.int64, count=len(routed)
+        )
+        tri_ids = np.repeat(np.arange(len(routed), dtype=np.int64), lengths)
+        node_ids = np.concatenate([np.asarray(n, dtype=np.int64) for n in routed])
+    else:
+        tri_ids = np.zeros(0, dtype=np.int64)
+        node_ids = np.zeros(0, dtype=np.int64)
+    # Stable sort by node keeps each node's triangles in submission order.
+    order = np.argsort(node_ids, kind="stable")
+    sorted_nodes = node_ids[order]
+    sorted_tris = tri_ids[order]
+    starts = np.searchsorted(sorted_nodes, np.arange(n_proc))
+    ends = np.searchsorted(sorted_nodes, np.arange(n_proc) + 1)
+
+    empty = np.zeros(0, dtype=np.int64)
+    triangles: List[np.ndarray] = []
+    pixels: List[np.ndarray] = []
+    texels: List[np.ndarray] = []
     node_work = np.zeros(n_proc, dtype=np.int64)
     for node in range(n_proc):
-        ids = np.asarray(per_node_ids[node], dtype=np.int64)
-        triangles[node] = ids
+        ids = sorted_tris[starts[node] : ends[node]]
+        triangles.append(ids)
         if len(ids):
-            pixels[node] = pixel_matrix[ids * n_proc + node]
-            texels[node] = texels_per_node_tri[node][ids]
-            node_work[node] = np.maximum(pixels[node], setup_cycles).sum()
+            px = plan.pixel_matrix[ids * n_proc + node]
+            tx = replay.texels_per_node_tri[node][ids]
+            node_work[node] = np.maximum(px, setup_cycles).sum()
+        else:
+            px, tx = empty, empty
+        pixels.append(px)
+        texels.append(tx)
 
     return RoutedWork(
         num_processors=n_proc,
         triangles=triangles,
         pixels=pixels,
         texels=texels,
-        node_pixels=node_pixels,
+        node_pixels=plan.node_pixels,
         node_work=node_work,
-        cache=total_cache,
+        cache=replay.cache,
+    )
+
+
+def build_routed_work(
+    scene: Scene,
+    distribution: Distribution,
+    cache_spec="lru",
+    cache_config=None,
+    setup_cycles: int = 25,
+    chunk_size: Optional[int] = None,
+    layout=None,
+    route_by: str = "bbox",
+    fragments=None,
+) -> RoutedWork:
+    """Route a scene and replay every node's stream through its cache.
+
+    ``layout`` overrides the scene's default block-linear texture
+    layout (used by the texture-blocking ablation).  ``route_by`` is
+    ``"bbox"`` (realistic bounding-box routing, the default) or
+    ``"coverage"`` (oracle routing, the ablation contrast).
+    ``fragments`` overrides the scene's rasterisation — the early-Z
+    ablation passes the depth-resolved survivor stream here.
+
+    Delegates to :func:`repro.pipeline.routed_work`, which memoizes
+    the routing plan, the cache replay and the assembled work by
+    content identity whenever the inputs are keyable.
+    """
+    from repro.pipeline import routed_work
+
+    return routed_work(
+        scene,
+        distribution,
+        cache_spec=cache_spec,
+        cache_config=cache_config,
+        setup_cycles=setup_cycles,
+        chunk_size=chunk_size,
+        layout=layout,
+        route_by=route_by,
+        fragments=fragments,
     )

@@ -93,6 +93,16 @@ class AssignedTiles(Distribution):
     def describe(self) -> str:
         return f"{self.label}{self.grid.width}x{self.num_processors}"
 
+    def fingerprint(self) -> str:
+        # The assignment table is the identity; the label is not.
+        import hashlib
+
+        digest = hashlib.sha1(self.assignment.tobytes()).hexdigest()[:16]
+        return (
+            f"{type(self).__name__}:{self.num_processors}:"
+            f"{self.grid.describe()}:{digest}"
+        )
+
 
 def lpt_assignment(tile_work: np.ndarray, num_processors: int) -> np.ndarray:
     """Longest-processing-time greedy assignment of tiles to processors.

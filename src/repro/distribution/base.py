@@ -43,6 +43,15 @@ class Distribution(ABC):
     def describe(self) -> str:
         """Human-readable label, e.g. ``block16x64``."""
 
+    def fingerprint(self) -> str:
+        """Content identity for artifact caching.
+
+        The built-in static schemes are fully determined by their class
+        and ``describe()`` string; distributions with extra state (an
+        explicit assignment table, say) must override this.
+        """
+        return f"{type(self).__name__}:{self.num_processors}:{self.describe()}"
+
     def owner_map(self, width: int, height: int) -> np.ndarray:
         """Full ``(height, width)`` ownership image, for tests and plots."""
         ys, xs = np.mgrid[0:height, 0:width]

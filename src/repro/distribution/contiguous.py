@@ -37,3 +37,11 @@ class ContiguousBands(Distribution):
 
     def describe(self) -> str:
         return f"bands{self.num_processors}"
+
+    def fingerprint(self) -> str:
+        # Band boundaries depend on the screen height, which the label
+        # omits.
+        return (
+            f"{type(self).__name__}:{self.num_processors}:"
+            f"bands@h{self.screen_height}"
+        )

@@ -70,6 +70,11 @@ class Scene:
         # Lazily-filled rasterisation / layout caches.
         self._fragments = None
         self._layout = None
+        #: Content-identity key for the artifact pipeline.  Set by the
+        #: workload generator (spec fingerprint + scale); ``None`` for
+        #: hand-built or trace-loaded scenes, which are then computed
+        #: directly instead of through the shared artifact store.
+        self.artifact_key = None
 
     def add(self, triangle: Triangle) -> None:
         """Append a triangle, validating its texture reference."""
@@ -80,6 +85,8 @@ class Scene:
             )
         self.triangles.append(triangle)
         self._fragments = None
+        # A mutated scene no longer matches its generated identity.
+        self.artifact_key = None
 
     @property
     def num_triangles(self) -> int:
@@ -114,6 +121,15 @@ class Scene:
         from repro.analysis.characterize import characterize_scene
 
         return characterize_scene(self)
+
+    def __getstate__(self):
+        # The rasterisation and layout memos are pure caches and can
+        # dwarf the scene itself; pickles (artifact store, worker
+        # transfers) carry only the definition.
+        state = self.__dict__.copy()
+        state["_fragments"] = None
+        state["_layout"] = None
+        return state
 
     def __repr__(self) -> str:
         return (

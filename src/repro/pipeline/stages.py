@@ -1,0 +1,155 @@
+"""The staged execution graph: scene → fragments → routing → replay → work.
+
+Each stage function returns its artifact, consulting the process-wide
+:class:`~repro.pipeline.store.ArtifactStore` first.  Stage keys are
+deterministic content identities (:mod:`repro.pipeline.keys`), so
+hundreds of sweep points that share a prefix — every Figure-7 point of
+one scene shares the scene and its rasterisation; every FIFO size of
+one machine shares the whole routed work — compute that prefix once.
+
+Inputs that have no content identity (hand-built scenes, prebuilt
+cache model objects, fragment-stream overrides) fall back to direct
+computation: correctness never depends on the cache, only speed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.pipeline import keys
+from repro.pipeline.store import store
+
+
+def _timed(stage: str, compute):
+    """Run an uncacheable stage computation, attributing its wall time."""
+    started = time.perf_counter()
+    value = compute()
+    store().record_compute(stage, time.perf_counter() - started)
+    return value
+
+
+@contextmanager
+def stage_timer(stage: str):
+    """Attribute a ``with`` block's wall time to ``stage`` (e.g. timing)."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        store().record_compute(stage, time.perf_counter() - started)
+
+
+def scene_artifact(name: str, scale: float):
+    """Stage 1: a generated benchmark scene, by (name, scale, spec) key."""
+    from repro.workloads.scenes import SCENE_SPECS
+
+    spec = SCENE_SPECS[name]
+    key = keys.scene_key(spec, scale)
+
+    def compute():
+        from repro.workloads.generator import generate_scene
+
+        return generate_scene(spec, scale=scale)
+
+    return store().get_or_compute("scene", key, compute)
+
+
+def fragments_artifact(scene):
+    """Stage 2: the scene's rasterised fragment stream.
+
+    The scene object's own lazy memo is the fastest tier; the store
+    adds cross-object (and, with a disk dir, cross-process) reuse for
+    scenes that carry an ``artifact_key``.
+    """
+    s = store()
+    if scene._fragments is not None:
+        stats = s.stage_stats("fragments")
+        stats.calls += 1
+        stats.memory_hits += 1
+        return scene._fragments
+    key = getattr(scene, "artifact_key", None)
+    if key is None:
+        return _timed("fragments", scene.fragments)
+    value = s.get_or_compute("fragments", key, scene.fragments)
+    scene._fragments = value
+    return value
+
+
+def routed_work(
+    scene,
+    distribution,
+    cache_spec="lru",
+    cache_config=None,
+    setup_cycles: int = 25,
+    chunk_size: Optional[int] = None,
+    layout=None,
+    route_by: str = "bbox",
+    fragments=None,
+):
+    """Stages 3-5: routing plan, cache replay, assembled per-node work.
+
+    The plan is keyed without the cache (an oracle-vs-bbox routing
+    contrast shares its replay) and the replay is keyed without the
+    routing mode or setup cost (a setup sweep shares its replay); the
+    assembled :class:`~repro.core.routing.RoutedWork` is memoized in
+    memory only, since it is cheap to reassemble from its parents.
+    """
+    from repro.core import routing
+
+    scene_id = getattr(scene, "artifact_key", None)
+    cache_part = keys.cache_key(cache_spec, cache_config)
+    layout_part = keys.layout_key(scene, layout)
+    cacheable = (
+        scene_id is not None
+        and fragments is None
+        and cache_part is not None
+        and layout_part is not None
+    )
+
+    if not cacheable:
+        frags = fragments if fragments is not None else fragments_artifact(scene)
+        plan = _timed(
+            "routing",
+            lambda: routing.compute_routing_plan(scene, distribution, frags, route_by),
+        )
+        replay = _timed(
+            "replay",
+            lambda: routing.compute_replay(
+                scene, distribution, frags, cache_spec, cache_config, layout, chunk_size
+            ),
+        )
+        return routing.assemble_routed_work(plan, replay, setup_cycles)
+
+    s = store()
+    dist_part = keys.distribution_key(distribution)
+    plan_key = f"{scene_id}/{dist_part}/{route_by}"
+    replay_key = (
+        f"{scene_id}/{dist_part}/{cache_part}/{layout_part}/chunk{chunk_size or 0}"
+    )
+    work_key = f"{plan_key}|{replay_key}|setup{setup_cycles}"
+
+    def assemble():
+        plan = s.get_or_compute(
+            "routing",
+            plan_key,
+            lambda: routing.compute_routing_plan(
+                scene, distribution, fragments_artifact(scene), route_by
+            ),
+        )
+        replay = s.get_or_compute(
+            "replay",
+            replay_key,
+            lambda: routing.compute_replay(
+                scene,
+                distribution,
+                fragments_artifact(scene),
+                cache_spec,
+                cache_config,
+                layout,
+                chunk_size,
+            ),
+        )
+        return routing.assemble_routed_work(plan, replay, setup_cycles)
+
+    return s.get_or_compute("routed", work_key, assemble, disk=False)

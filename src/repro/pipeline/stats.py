@@ -1,0 +1,93 @@
+"""Per-stage instrumentation for the staged experiment pipeline.
+
+Every artifact stage (scene, fragments, routing, replay, routed work)
+and the timing model record what they did here: how often they ran,
+how often a memory or disk artifact satisfied the request instead, how
+long the real computations took, and how many bytes the disk tier has
+absorbed.  ``repro.pipeline.stats()`` snapshots these counters and the
+``--timings`` CLI flag renders them, so a sweep's cost structure is
+always one flag away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StageStats:
+    """Counters for one pipeline stage."""
+
+    #: Artifact requests (or, for ``timing``, model executions).
+    calls: int = 0
+    #: Requests satisfied by the in-memory LRU.
+    memory_hits: int = 0
+    #: Requests satisfied by a ``REPRO_ARTIFACT_DIR`` pickle.
+    disk_hits: int = 0
+    #: Requests that had to run the stage computation.
+    misses: int = 0
+    #: Wall-clock seconds spent inside the stage computation.
+    compute_seconds: float = 0.0
+    #: Wall-clock seconds spent loading artifacts from disk.
+    load_seconds: float = 0.0
+    #: Serialized bytes this stage has written to the disk tier.
+    stored_bytes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "compute_seconds": self.compute_seconds,
+            "load_seconds": self.load_seconds,
+            "stored_bytes": self.stored_bytes,
+        }
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage counters, created on first touch of each stage."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStats:
+        if name not in self.stages:
+            self.stages[name] = StageStats()
+        return self.stages[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {name: stats.as_dict() for name, stats in sorted(self.stages.items())}
+
+    def clear(self) -> None:
+        self.stages.clear()
+
+
+def render_stats(snapshot: Dict[str, Dict[str, float]]) -> str:
+    """Plain-text table of a :meth:`PipelineStats.snapshot`."""
+    headers = ["stage", "calls", "mem hits", "disk hits", "misses",
+               "compute s", "load s", "stored KB"]
+    rows = []
+    for name, stats in snapshot.items():
+        rows.append([
+            name,
+            str(stats["calls"]),
+            str(stats["memory_hits"]),
+            str(stats["disk_hits"]),
+            str(stats["misses"]),
+            f"{stats['compute_seconds']:.3f}",
+            f"{stats['load_seconds']:.3f}",
+            f"{stats['stored_bytes'] / 1024.0:.1f}",
+        ])
+    if not rows:
+        return "pipeline: no stages have run"
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "pipeline stage timings\n" + "\n".join(lines)

@@ -1,0 +1,299 @@
+"""Memoized artifact store: an in-memory LRU over an optional disk tier.
+
+The store holds the products of pipeline stages keyed by deterministic
+content identity (see :mod:`repro.pipeline.keys`).  Lookups walk two
+tiers:
+
+1. an in-process LRU bounded by entry count (``REPRO_ARTIFACT_ENTRIES``
+   overrides the default), which is what repeated sweep points inside
+   one process hit;
+2. an optional directory of pickles named by key digest, enabled by
+   pointing ``REPRO_ARTIFACT_DIR`` at a directory (or by
+   :func:`repro.pipeline.configure`).  The directory is shared by
+   every process that sees the same environment, which is how sweep
+   workers hydrate stage prefixes instead of rebuilding scenes.
+
+Disk writes are atomic (temp file + ``os.replace``) so concurrent
+workers racing to produce the same artifact simply overwrite each
+other with identical bytes; unreadable or truncated pickles are
+treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.pipeline.keys import fingerprint
+from repro.pipeline.stats import PipelineStats, StageStats
+
+#: Directory for the shared disk tier (unset = memory only).
+ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
+#: Override for the in-memory LRU entry bound.
+ARTIFACT_ENTRIES_ENV_VAR = "REPRO_ARTIFACT_ENTRIES"
+#: Default in-memory LRU entry bound.
+DEFAULT_MAX_ENTRIES = 512
+
+
+class ArtifactStore:
+    """Two-tier (memory LRU + disk) store for pipeline artifacts."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"store needs >= 1 entry, got {max_entries}")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        #: Keys whose values must never be spilled to disk.
+        self._memory_only: set = set()
+        self._stats = PipelineStats()
+
+    # -- lookup ------------------------------------------------------
+
+    def get_or_compute(
+        self,
+        stage: str,
+        key: str,
+        compute: Callable[[], object],
+        disk: bool = True,
+    ) -> object:
+        """Return the artifact for ``stage``/``key``, computing at most once.
+
+        ``disk=False`` keeps the artifact out of the disk tier (used
+        for cheap-to-assemble products that are large to serialize).
+        """
+        full_key = f"{stage}/{key}"
+        with self._lock:
+            stats = self._stats.stage(stage)
+            stats.calls += 1
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+                stats.memory_hits += 1
+                return self._entries[full_key]
+
+        if disk:
+            loaded, value = self._disk_read(stage, key)
+            if loaded:
+                with self._lock:
+                    self._stats.stage(stage).disk_hits += 1
+                    self._remember(full_key, value, disk)
+                return value
+
+        started = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._stats.stage(stage).misses += 1
+            self._stats.stage(stage).compute_seconds += elapsed
+            self._remember(full_key, value, disk)
+        if disk:
+            self._disk_write(stage, key, value)
+        return value
+
+    def contains(self, stage: str, key: str) -> bool:
+        """True when the artifact is resident in the memory tier."""
+        with self._lock:
+            return f"{stage}/{key}" in self._entries
+
+    def _remember(self, full_key: str, value: object, disk: bool) -> None:
+        self._entries[full_key] = value
+        self._entries.move_to_end(full_key)
+        if not disk:
+            self._memory_only.add(full_key)
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._memory_only.discard(evicted)
+
+    # -- disk tier ---------------------------------------------------
+
+    def _disk_path(self, stage: str, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / stage / f"{fingerprint(key)}.pkl"
+
+    def _disk_read(self, stage: str, key: str):
+        path = self._disk_path(stage, key)
+        if path is None or not path.exists():
+            return False, None
+        started = time.perf_counter()
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            # Truncated or stale pickle: treat as a miss and recompute.
+            return False, None
+        finally:
+            with self._lock:
+                self._stats.stage(stage).load_seconds += time.perf_counter() - started
+        return True, value
+
+    def _disk_write(self, stage: str, key: str, value: object) -> None:
+        path = self._disk_path(stage, key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_name, path)
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError:
+            # A full or read-only disk degrades to memory-only caching.
+            return
+        with self._lock:
+            self._stats.stage(stage).stored_bytes += len(payload)
+
+    def attach_disk(self, disk_dir: os.PathLike) -> None:
+        """Point the disk tier at ``disk_dir`` without dropping memory."""
+        with self._lock:
+            self.disk_dir = Path(disk_dir)
+
+    def flush_to_disk(self) -> int:
+        """Spill every disk-eligible memory entry; returns the count.
+
+        Called before fanning out worker processes so they hydrate the
+        parent's already-computed prefixes instead of rebuilding them.
+        """
+        if self.disk_dir is None:
+            return 0
+        with self._lock:
+            items = [
+                (full_key, value)
+                for full_key, value in self._entries.items()
+                if full_key not in self._memory_only
+            ]
+        written = 0
+        for full_key, value in items:
+            stage, _, key = full_key.partition("/")
+            path = self._disk_path(stage, key)
+            if path is not None and not path.exists():
+                self._disk_write(stage, key, value)
+                written += 1
+        return written
+
+    # -- instrumentation --------------------------------------------
+
+    def stage_stats(self, stage: str) -> StageStats:
+        with self._lock:
+            return self._stats.stage(stage)
+
+    def record_compute(self, stage: str, seconds: float) -> None:
+        """Attribute uncached work (e.g. the timing model) to a stage."""
+        with self._lock:
+            stats = self._stats.stage(stage)
+            stats.calls += 1
+            stats.misses += 1
+            stats.compute_seconds += seconds
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+    def clear(self) -> None:
+        """Drop every memory entry and all counters (disk is untouched)."""
+        with self._lock:
+            self._entries.clear()
+            self._memory_only.clear()
+            self._stats.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# -- module-level singleton ------------------------------------------
+
+_store: Optional[ArtifactStore] = None
+_store_lock = threading.Lock()
+
+
+def _entries_from_env() -> int:
+    raw = os.environ.get(ARTIFACT_ENTRIES_ENV_VAR)
+    if raw is None:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        entries = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{ARTIFACT_ENTRIES_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if entries < 1:
+        raise ConfigurationError(
+            f"{ARTIFACT_ENTRIES_ENV_VAR} must be >= 1, got {entries}"
+        )
+    return entries
+
+
+def store() -> ArtifactStore:
+    """The process-wide artifact store (created from the env on first use)."""
+    global _store
+    if _store is None:
+        with _store_lock:
+            if _store is None:
+                _store = ArtifactStore(
+                    max_entries=_entries_from_env(),
+                    disk_dir=os.environ.get(ARTIFACT_DIR_ENV_VAR),
+                )
+    return _store
+
+
+def ensure_shared_store() -> Path:
+    """Guarantee a disk tier exists and return its directory.
+
+    If no ``REPRO_ARTIFACT_DIR`` is configured, a temporary directory
+    is created, exported through the environment (so worker processes
+    inherit it) and removed at interpreter exit.  Called by
+    :func:`repro.analysis.parallel.run_tasks` before fanning out, so
+    workers hydrate stage prefixes instead of rebuilding them.
+    """
+    current = store()
+    if current.disk_dir is not None:
+        return current.disk_dir
+    import atexit
+    import shutil
+
+    temp = Path(tempfile.mkdtemp(prefix="repro-artifacts-"))
+    os.environ[ARTIFACT_DIR_ENV_VAR] = str(temp)
+    atexit.register(shutil.rmtree, temp, ignore_errors=True)
+    current.attach_disk(temp)
+    return temp
+
+
+def configure(
+    max_entries: Optional[int] = None,
+    disk_dir: Optional[os.PathLike] = None,
+) -> ArtifactStore:
+    """Replace the process-wide store (e.g. to attach a disk directory).
+
+    The previous store's memory entries are dropped; artifacts already
+    on disk remain readable through the new store if it points at the
+    same directory.
+    """
+    global _store
+    with _store_lock:
+        _store = ArtifactStore(
+            max_entries=max_entries if max_entries is not None else _entries_from_env(),
+            disk_dir=disk_dir,
+        )
+    return _store

@@ -364,6 +364,12 @@ def generate_scene(spec: SceneSpec, scale: float = 1.0) -> Scene:
         rng.shuffle(objects)
     for params in objects:
         _emit_object(scene, spec, params)
+    # Content identity for the artifact pipeline: the scaled spec fixes
+    # every generator input (including the scale, via the screen size),
+    # so equal keys mean bit-identical scenes across processes.
+    from repro.pipeline.keys import spec_fingerprint
+
+    scene.artifact_key = f"{spec.name}#{spec_fingerprint(spec)}"
     return scene
 
 

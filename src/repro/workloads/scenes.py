@@ -168,9 +168,6 @@ SCALE_ENV_VAR = "REPRO_SCALE"
 #: Default linear scale experiments run at (1.0 == the paper's frames).
 DEFAULT_SCALE = 0.25
 
-_scene_cache: Dict[tuple, Scene] = {}
-
-
 def experiment_scale() -> float:
     """Linear scene scale for experiments (REPRO_SCALE overrides)."""
     raw = os.environ.get(SCALE_ENV_VAR)
@@ -186,18 +183,23 @@ def experiment_scale() -> float:
 
 
 def build_scene(name: str, scale: float = 1.0, cache: bool = True) -> Scene:
-    """Build a named benchmark scene (memoised per (name, scale))."""
+    """Build a named benchmark scene.
+
+    Memoised per (name, scale) through the artifact pipeline's scene
+    stage — repeated builds in one process return the same object, and
+    with a ``REPRO_ARTIFACT_DIR`` configured, worker processes hydrate
+    the generated scene from disk instead of regenerating it.
+    ``cache=False`` bypasses the store and always regenerates.
+    """
     if name not in SCENE_SPECS:
         raise ConfigurationError(
             f"unknown scene {name!r}; choose from {', '.join(SCENE_NAMES)}"
         )
-    key = (name, scale)
-    if cache and key in _scene_cache:
-        return _scene_cache[key]
-    scene = generate_scene(SCENE_SPECS[name], scale=scale)
-    if cache:
-        _scene_cache[key] = scene
-    return scene
+    if not cache:
+        return generate_scene(SCENE_SPECS[name], scale=scale)
+    from repro.pipeline import scene_artifact
+
+    return scene_artifact(name, scale)
 
 
 def build_all_scenes(scale: float = 1.0) -> List[Scene]:

@@ -146,6 +146,45 @@ class TestEventPathEquivalence:
         assert t_tiny > t_big
 
 
+class TestTimingModes:
+    def test_rejects_unknown_mode(self, flat_scene):
+        config = MachineConfig(distribution=SingleProcessor())
+        with pytest.raises(ConfigurationError):
+            simulate_machine(flat_scene, config, timing_mode="exact")
+
+    @pytest.mark.parametrize(
+        "dist",
+        [BlockInterleaved(4, 8), ScanLineInterleaved(8, 2), SingleProcessor()],
+        ids=["block", "sli", "single"],
+    )
+    def test_fast_and_event_paths_agree_when_fifo_never_fills(
+        self, tiny_bench_scene, dist
+    ):
+        """The claim the fast path rests on, enforced cycle for cycle."""
+        work = build_routed_work(tiny_bench_scene, dist, cache_spec="lru")
+        config = MachineConfig(distribution=dist, cache="lru", bus_ratio=1.0)
+        fast = simulate_machine(
+            tiny_bench_scene, config, routed=work, timing_mode="fast"
+        )
+        event = simulate_machine(
+            tiny_bench_scene, config, routed=work, timing_mode="event"
+        )
+        assert event.cycles == pytest.approx(fast.cycles)
+        assert np.allclose(event.timings.finish, fast.timings.finish)
+        assert np.allclose(event.timings.busy, fast.timings.busy)
+
+    def test_auto_matches_forced_fast_on_big_fifo(self, tiny_bench_scene):
+        dist = BlockInterleaved(4, 16)
+        work = build_routed_work(tiny_bench_scene, dist, cache_spec="perfect")
+        config = MachineConfig(distribution=dist, cache="perfect")
+        auto = simulate_machine(tiny_bench_scene, config, routed=work)
+        fast = simulate_machine(
+            tiny_bench_scene, config, routed=work, timing_mode="fast"
+        )
+        assert auto.cycles == fast.cycles
+        assert auto.extras == {}  # fast path carries no event extras
+
+
 class TestMonotonicities:
     def test_wider_bus_never_slower(self, tiny_bench_scene):
         dist = BlockInterleaved(4, 16)

@@ -118,6 +118,30 @@ class TestCli:
         assert main(["replay-trace"]) == 2
         assert "needs --path" in capsys.readouterr().err
 
+    def test_workers_flag_exports_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert main(["list", "--workers", "3"]) == 0
+        capsys.readouterr()
+        import os
+
+        assert os.environ["REPRO_WORKERS"] == "3"
+
+    def test_workers_flag_validation(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert main(["table1", "--workers", "nope"]) == 2
+        assert "--workers must be an int" in capsys.readouterr().err
+        assert main(["table1", "--workers", "-3"]) == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+        import os
+
+        assert "REPRO_WORKERS" not in os.environ
+
+    def test_timings_flag_prints_stage_table(self, capsys):
+        assert main(["table1", "--scale", str(SCALE), "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline stage timings" in out
+        assert "scene" in out and "mem hits" in out
+
 
 class TestMethodologyExperiments:
     def test_cad_contrast_shows_lower_cache_pressure(self):

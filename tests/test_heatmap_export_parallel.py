@@ -132,3 +132,16 @@ class TestParallel:
         monkeypatch.setenv("REPRO_WORKERS", "-1")
         with pytest.raises(ConfigurationError):
             worker_count()
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.raises(ConfigurationError):
+            worker_count()
+
+    def test_empty_task_lists(self):
+        assert run_tasks(_square, [], workers=0) == []
+        assert run_tasks(_square, [], workers=4) == []
+        assert keyed_tasks(_square, [], workers=4) == {}
+
+    def test_one_worker_runs_inline(self):
+        # workers=1 must not pay for a pool: same code path as inline.
+        arguments = [(i,) for i in range(4)]
+        assert run_tasks(_square, arguments, workers=1) == [0, 1, 4, 9]
