@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI smoke test for the experiment job service.
+
+Boots ``repro-experiments serve`` on an ephemeral port in a child
+process, submits a tiny-scale job through the Python client, polls it
+to completion, resubmits the identical job, and asserts the service's
+`/metrics` prove the dedup story: exactly one result-store miss (the
+first computation) followed by one hit (the cached resubmission,
+``cached: true`` and no second computation).
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+PAYLOAD = {"scene": "truc640", "scale": 0.0625, "processors": 4, "size": 16}
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+    try:
+        banner = server.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), f"unexpected banner: {banner!r}"
+        client = ServiceClient(banner.split("serving on ", 1)[1])
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+
+        first = client.submit(PAYLOAD)
+        assert not first["deduped"], first
+        done = client.wait(first["id"], timeout=600)
+        assert done["state"] == "done", done
+
+        second = client.submit(PAYLOAD)
+        assert second["state"] == "done" and second["cached"], second
+        assert second["id"] != first["id"], second
+
+        metrics = client.metrics()
+        store = metrics["result_store"]
+        assert store["misses"] == 1, f"expected exactly one store miss: {store}"
+        assert store["hits"] == 1, f"expected exactly one store hit: {store}"
+        assert metrics["jobs"]["done"] == 2, metrics["jobs"]
+        assert metrics["counters"]["completed"] == 1, metrics["counters"]
+
+        text = client.result(second["result_key"])["text"]
+        assert "truc640" in text and "speedup" in text, text
+        print(f"service smoke: OK — {text.strip()}")
+        print(f"service smoke: metrics {store}")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,20 @@ a shared on-disk store (creating a temporary one when
 ``REPRO_ARTIFACT_DIR`` is unset) so workers hydrate already-computed
 scene/routing/replay stages instead of recomputing them, and artifacts
 computed by one worker are visible to the others.
+
+Failure semantics: a task that raises gets its argument tuple attached
+to the exception (``exc.failing_arguments``) so the failing sweep point
+is identifiable; a worker process that dies (``BrokenProcessPool``)
+degrades the sweep to inline execution with a warning instead of
+crashing it.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -25,18 +33,43 @@ from repro.errors import ConfigurationError
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 
+def parse_worker_count(raw, label: str = "--workers") -> int:
+    """Validate a worker count (int >= 0); ``label`` names the source.
+
+    Shared by the CLI's ``--workers`` flag and the ``REPRO_WORKERS``
+    environment variable so both reject bad values identically.
+    """
+    try:
+        workers = int(raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{label} must be an int, got {raw!r}") from exc
+    if workers < 0:
+        raise ConfigurationError(f"{label} must be >= 0, got {workers}")
+    return workers
+
+
 def worker_count() -> int:
     """Worker processes for sweeps (0 = run inline), from the env."""
     raw = os.environ.get(WORKERS_ENV_VAR)
     if raw is None:
         return 0
-    try:
-        workers = int(raw)
-    except ValueError as exc:
-        raise ConfigurationError(f"{WORKERS_ENV_VAR} must be an int, got {raw!r}") from exc
-    if workers < 0:
-        raise ConfigurationError(f"{WORKERS_ENV_VAR} must be >= 0, got {workers}")
-    return workers
+    return parse_worker_count(raw, label=WORKERS_ENV_VAR)
+
+
+def share_artifacts() -> None:
+    """Spill the parent's pipeline artifacts to the shared disk tier.
+
+    Guarantees a ``REPRO_ARTIFACT_DIR`` exists (exported through the
+    environment so child processes inherit it) and flushes every
+    disk-eligible memory entry, so workers hydrate already-computed
+    stage prefixes instead of rebuilding them.  Called before any
+    process pool is created — both by :func:`run_tasks` and by the
+    experiment job service's supervised pool.
+    """
+    from repro import pipeline
+
+    pipeline.ensure_shared_store()
+    pipeline.store().flush_to_disk()
 
 
 def run_tasks(
@@ -47,17 +80,48 @@ def run_tasks(
     """Apply ``fn`` to each argument tuple, optionally across processes.
 
     Results come back in submission order.  ``fn`` must be a
-    module-level callable (picklable) when ``workers > 0``.
+    module-level callable (picklable) when ``workers > 0``.  If a task
+    raises, the exception propagates with the failing argument tuple
+    attached as ``exc.failing_arguments``; if the pool itself breaks
+    (a worker was killed), the sweep reruns inline with a warning.
     """
     if workers <= 1:
-        return [fn(*arguments) for arguments in argument_tuples]
-    from repro import pipeline
+        return _run_inline(fn, argument_tuples)
+    share_artifacts()
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (arguments, pool.submit(fn, *arguments))
+                for arguments in argument_tuples
+            ]
+            results = []
+            for arguments, future in futures:
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    exc.failing_arguments = arguments
+                    raise
+            return results
+    except BrokenProcessPool:
+        warnings.warn(
+            "sweep worker pool died; rerunning the sweep inline",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_inline(fn, argument_tuples)
 
-    pipeline.ensure_shared_store()
-    pipeline.store().flush_to_disk()
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *arguments) for arguments in argument_tuples]
-        return [future.result() for future in futures]
+
+def _run_inline(fn: Callable, argument_tuples: Sequence[Tuple]) -> List:
+    results = []
+    for arguments in argument_tuples:
+        try:
+            results.append(fn(*arguments))
+        except Exception as exc:
+            exc.failing_arguments = arguments
+            raise
+    return results
 
 
 def keyed_tasks(

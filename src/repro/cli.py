@@ -8,11 +8,15 @@ Examples::
     repro-experiments all --scale 0.25 --out results/
     repro-experiments dump-trace --scene quake --path quake.trace
     repro-experiments replay-trace --path quake.trace --processors 16
+    repro-experiments serve --port 8765 --workers 2
+    repro-experiments submit --url http://127.0.0.1:8765 --run table1 --wait
+    repro-experiments status --url http://127.0.0.1:8765 --id job-1
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -24,7 +28,20 @@ from repro.errors import ConfigurationError, ReproError
 from repro.workloads.scenes import experiment_scale
 
 #: Utility commands handled outside the experiment registry.
-_COMMANDS = ("list", "all", "dump-trace", "replay-trace", "batch")
+_COMMANDS = {
+    "list": "enumerate registered experiments and utility commands",
+    "all": "run every registered experiment",
+    "dump-trace": "write a scene's triangle trace to --path",
+    "replay-trace": "simulate a trace file (--path, --processors, --width)",
+    "batch": "run a JSON campaign file (--path, optionally --out)",
+    "serve": "start the experiment job service (--host, --port, --workers)",
+    "submit": "submit a job to a running service (--url, --run/--scene/--job)",
+    "status": "show a job (--id) or service metrics from --url",
+}
+
+#: Default address for the job service.
+DEFAULT_SERVICE_PORT = 8765
+SERVICE_URL_ENV_VAR = "REPRO_SERVICE_URL"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +56,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name, 'all', 'list' to enumerate, "
-            "'dump-trace' or 'replay-trace' for trace files"
+            "'dump-trace'/'replay-trace' for trace files, "
+            "'serve'/'submit'/'status' for the job service"
         ),
     )
     parser.add_argument(
@@ -60,7 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scene",
         default="truc640",
-        help="benchmark scene name for dump-trace (default: truc640)",
+        help="benchmark scene name for dump-trace / submit (default: truc640)",
     )
     parser.add_argument(
         "--path",
@@ -72,7 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--processors",
         type=int,
         default=16,
-        help="processor count for replay-trace (default: 16)",
+        help="processor count for replay-trace / submit (default: 16)",
     )
     parser.add_argument(
         "--width",
@@ -84,8 +102,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         default=None,
         help=(
-            "worker processes for parallel sweeps, 0 runs inline "
-            "(overrides the REPRO_WORKERS env var)"
+            "worker processes for parallel sweeps and the job service, "
+            "0 runs inline (overrides the REPRO_WORKERS env var)"
         ),
     )
     parser.add_argument(
@@ -93,32 +111,84 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage pipeline timings and artifact hit rates at exit",
     )
+    service = parser.add_argument_group("job service (serve / submit / status)")
+    service.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address (default: 127.0.0.1)"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"serve: TCP port, 0 picks an ephemeral one (default: {DEFAULT_SERVICE_PORT})",
+    )
+    service.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "submit/status: service base URL (default: REPRO_SERVICE_URL "
+            f"env var or http://127.0.0.1:{DEFAULT_SERVICE_PORT})"
+        ),
+    )
+    service.add_argument(
+        "--run", default=None, help="submit: registered experiment name to run as a job"
+    )
+    service.add_argument(
+        "--job", default=None, help="submit: full job description as inline JSON"
+    )
+    service.add_argument(
+        "--family", default="block", help="submit: distribution family (default: block)"
+    )
+    service.add_argument(
+        "--size", type=int, default=16, help="submit: tile size / SLI lines (default: 16)"
+    )
+    service.add_argument(
+        "--priority", type=int, default=None, help="submit: lower runs first (default: 0)"
+    )
+    service.add_argument(
+        "--job-timeout", type=float, default=None, help="submit: per-attempt timeout (s)"
+    )
+    service.add_argument(
+        "--retries", type=int, default=None, help="submit: extra attempts after the first"
+    )
+    service.add_argument(
+        "--wait", action="store_true", help="submit: poll until done and print the result"
+    )
+    service.add_argument(
+        "--id", default=None, help="status: job id to query (omit for service metrics)"
+    )
     return parser
 
 
 def _apply_workers(raw: str) -> None:
     """Validate ``--workers`` and export it as ``REPRO_WORKERS``."""
-    from repro.analysis.parallel import WORKERS_ENV_VAR
+    from repro.analysis.parallel import WORKERS_ENV_VAR, parse_worker_count
 
-    try:
-        workers = int(raw)
-    except ValueError as exc:
-        raise ConfigurationError(f"--workers must be an int, got {raw!r}") from exc
-    if workers < 0:
-        raise ConfigurationError(f"--workers must be >= 0, got {workers}")
-    os.environ[WORKERS_ENV_VAR] = str(workers)
+    os.environ[WORKERS_ENV_VAR] = str(parse_worker_count(raw, label="--workers"))
 
 
 def _run_one(name: str, scale: float, out: Optional[Path]) -> None:
     description, runner = EXPERIMENTS[name]
-    started = time.time()
+    started = time.perf_counter()
     text = runner(scale)
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print(text)
     print(f"[{name}: {description} — {elapsed:.1f}s]\n")
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{name.replace('-', '_')}.txt").write_text(text + "\n")
+
+
+def _list_registry() -> None:
+    width = max(
+        max(len(name) for name in EXPERIMENTS),
+        max(len(name) for name in _COMMANDS),
+    )
+    print("experiments:")
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
+    print("\ncommands:")
+    for name, description in _COMMANDS.items():
+        print(f"  {name.ljust(width)}  {description}")
 
 
 def _dump_trace(args, scale: float) -> int:
@@ -181,6 +251,82 @@ def _run_batch(args) -> int:
     return 0
 
 
+# -- job service verbs ------------------------------------------------
+
+
+def _service_url(args) -> str:
+    if args.url is not None:
+        return args.url
+    return os.environ.get(
+        SERVICE_URL_ENV_VAR, f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}"
+    )
+
+
+def _serve(args) -> int:
+    from repro.analysis.parallel import worker_count
+    from repro.service import Scheduler, serve
+
+    scheduler = Scheduler(workers=worker_count())
+    serve(scheduler, host=args.host, port=args.port)
+    return 0
+
+
+def _submit_payload(args, scale: Optional[float]) -> dict:
+    if args.job is not None:
+        try:
+            return json.loads(args.job)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"--job is not valid JSON: {exc}") from exc
+    if args.run is not None:
+        payload = {"experiment": args.run}
+    else:
+        payload = {
+            "scene": args.scene,
+            "family": args.family,
+            "processors": args.processors,
+            "size": args.size,
+        }
+    if scale is not None:
+        payload["scale"] = scale
+    if args.priority is not None:
+        payload["priority"] = args.priority
+    if args.job_timeout is not None:
+        payload["timeout"] = args.job_timeout
+    if args.retries is not None:
+        payload["retries"] = args.retries
+    return payload
+
+
+def _submit(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    job = client.submit(_submit_payload(args, args.scale))
+    print(json.dumps(job, indent=2))
+    if not args.wait:
+        return 0
+    job = client.wait(job["id"])
+    if job["state"] != "done":
+        print(
+            f"error: {job['id']} ended {job['state']}: {job.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(client.result(job["result_key"])["text"])
+    return 0
+
+
+def _status(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.id is not None:
+        print(json.dumps(client.job(args.id), indent=2))
+    else:
+        print(json.dumps(client.metrics(), indent=2))
+    return 0
+
+
 def _print_timings() -> None:
     from repro import pipeline
 
@@ -205,17 +351,22 @@ def _main(argv: Optional[List[str]] = None) -> int:
         _apply_workers(args.workers)
 
     if args.experiment == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
+        _list_registry()
         return 0
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == "status":
+        return _status(args)
 
     scale = args.scale if args.scale is not None else experiment_scale()
     if not 0 < scale <= 1:
         print(f"error: --scale must be in (0, 1], got {scale}", file=sys.stderr)
         return 2
 
-    if args.experiment == "dump-trace":
+    if args.experiment == "submit":
+        # An unset --scale defers to the service's default for the job.
+        status = _submit(args)
+    elif args.experiment == "dump-trace":
         status = _dump_trace(args, scale)
     elif args.experiment == "replay-trace":
         status = _replay_trace(args)

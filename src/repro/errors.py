@@ -19,3 +19,8 @@ class DeadlockError(SimulationError):
 
 class TraceFormatError(ReproError):
     """A triangle trace file is malformed."""
+
+
+class ServiceError(ReproError):
+    """The experiment job service failed (HTTP transport, bad response,
+    or a job that can no longer make progress)."""

@@ -28,7 +28,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.pipeline.keys import fingerprint
@@ -101,6 +101,41 @@ class ArtifactStore:
         if disk:
             self._disk_write(stage, key, value)
         return value
+
+    def peek(self, stage: str, key: str) -> Tuple[bool, object]:
+        """Look up ``stage``/``key`` without computing: ``(found, value)``.
+
+        Walks both tiers like :meth:`get_or_compute` (a disk hit is
+        promoted into memory) but never runs a computation; the miss is
+        recorded and ``(False, None)`` returned.  Used by layers that
+        populate the store explicitly with :meth:`put` — e.g. the
+        experiment job service's content-addressed result store.
+        """
+        full_key = f"{stage}/{key}"
+        with self._lock:
+            stats = self._stats.stage(stage)
+            stats.calls += 1
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+                stats.memory_hits += 1
+                return True, self._entries[full_key]
+        loaded, value = self._disk_read(stage, key)
+        if loaded:
+            with self._lock:
+                self._stats.stage(stage).disk_hits += 1
+                self._remember(full_key, value, disk=True)
+            return True, value
+        with self._lock:
+            self._stats.stage(stage).misses += 1
+        return False, None
+
+    def put(self, stage: str, key: str, value: object, disk: bool = True) -> None:
+        """Store a value computed elsewhere under ``stage``/``key``."""
+        full_key = f"{stage}/{key}"
+        with self._lock:
+            self._remember(full_key, value, disk)
+        if disk:
+            self._disk_write(stage, key, value)
 
     def contains(self, stage: str, key: str) -> bool:
         """True when the artifact is resident in the memory tier."""

@@ -1,0 +1,66 @@
+"""Experiment job service: async scheduler, supervised worker pool,
+content-addressed result store, stdlib HTTP front end.
+
+The figure sweeps stop being blocking foreground CLI runs: a
+long-running ``repro-experiments serve`` process accepts declarative
+job submissions over HTTP, runs them on a supervised process pool
+(per-job timeout, bounded retries with exponential backoff, pool-crash
+recovery), and stores every result content-addressed by the job's
+pipeline key — duplicate submissions coalesce into one computation and
+repeat clients get cache hits.
+
+Public surface::
+
+    from repro.service import Scheduler, ServiceClient, serve
+
+    scheduler = Scheduler(workers=2).start()
+    job, deduped = scheduler.submit({"scene": "truc640", "scale": 0.125})
+    scheduler.wait(job.id)
+
+    serve(scheduler, port=8765)          # blocking HTTP server
+    ServiceClient("http://127.0.0.1:8765").run({"experiment": "table1"})
+"""
+
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    Job,
+    JobSpec,
+    execute_payload,
+    parse_submission,
+    spec_from_payload,
+)
+from repro.service.client import ServiceClient
+from repro.service.http import ServiceHTTPServer, make_server, serve
+from repro.service.queue import JobQueue
+from repro.service.results import RESULT_STAGE, ResultStore
+from repro.service.scheduler import Scheduler, SupervisedPool
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "TIMED_OUT",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "RESULT_STAGE",
+    "ResultStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "SupervisedPool",
+    "execute_payload",
+    "make_server",
+    "parse_submission",
+    "serve",
+    "spec_from_payload",
+]

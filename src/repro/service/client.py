@@ -1,0 +1,105 @@
+"""Python client for the experiment job service (stdlib ``urllib``).
+
+Usage::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit({"scene": "truc640", "scale": 0.125, "processors": 16})
+    done = client.wait(job["id"])
+    print(client.result(done["result_key"])["text"])
+
+Errors come back as :class:`~repro.errors.ServiceError` carrying the
+server's ``error`` message (or the transport failure).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+from urllib.parse import quote
+
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceClient:
+    """Talks to one running ``repro-experiments serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints ---------------------------------------------------
+
+    def submit(self, payload: Dict) -> Dict:
+        """POST a job description; returns the job record (+ ``deduped``)."""
+        return self._request("POST", "/jobs", body=payload)
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{quote(job_id, safe='')}")
+
+    def jobs(self) -> Dict:
+        return self._request("GET", "/jobs")
+
+    def result(self, key: str) -> Dict:
+        """Fetch a content-addressed result payload by its key."""
+        return self._request("GET", f"/results/{quote(key, safe='')}")
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    # -- conveniences ------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"{job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run(self, payload: Dict, timeout: float = 600.0) -> Dict:
+        """Submit, wait, and return the result payload (or raise)."""
+        job = self.wait(self.submit(payload)["id"], timeout=timeout)
+        if job["state"] != "done":
+            raise ServiceError(
+                f"{job['id']} ended {job['state']}: {job.get('error') or 'no error recorded'}"
+            )
+        return self.result(job["result_key"])
+
+    # -- transport ---------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if body is None else json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceError(f"{method} {path}: {message}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc

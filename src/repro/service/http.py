@@ -1,0 +1,134 @@
+"""Stdlib-only HTTP front end for the experiment job service.
+
+Endpoints (all JSON):
+
+* ``POST /jobs`` — submit a job description; ``202`` with the job
+  record (``409``-free: duplicates coalesce, the response carries
+  ``deduped: true``).  Invalid specs get ``400`` with an ``error``.
+* ``GET /jobs`` — every job the service knows about.
+* ``GET /jobs/<id>`` — one job's state-machine record.
+* ``GET /results/<key>`` — the content-addressed result payload
+  (URL-quote the key; it contains ``/`` and ``#``).
+* ``GET /healthz`` — liveness: status, workers, dispatcher threads.
+* ``GET /metrics`` — queue depth, jobs by state, retry/timeout/requeue
+  counters, result-store hit rate, per-stage pipeline stats.
+
+The server is a ``ThreadingHTTPServer`` so slow pollers never block
+submissions; all actual work happens in the scheduler's dispatchers.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import unquote
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.scheduler import Scheduler
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`Scheduler`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scheduler: Scheduler) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # The default handler logs every request to stderr; the service is
+    # introspectable through /metrics instead.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    def _send(self, status: int, document) -> None:
+        body = json.dumps(document, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        scheduler = self.server.scheduler
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._send(200, scheduler.healthz())
+            elif path == "/metrics":
+                self._send(200, scheduler.metrics())
+            elif path == "/jobs":
+                self._send(200, {"jobs": [job.to_json() for job in scheduler.jobs()]})
+            elif path.startswith("/jobs/"):
+                job_id = unquote(path[len("/jobs/"):])
+                self._send(200, scheduler.job(job_id).to_json())
+            elif path.startswith("/results/"):
+                key = unquote(path[len("/results/"):])
+                payload = scheduler.result(key)
+                if payload is None:
+                    self._error(404, f"no result stored for key {key!r}")
+                else:
+                    self._send(200, payload)
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except ReproError as exc:
+            self._error(404, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] != "/jobs":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            job, deduped = self.server.scheduler.submit(payload)
+        except ConfigurationError as exc:
+            self._error(400, str(exc))
+            return
+        document = job.to_json()
+        document["deduped"] = deduped
+        self._send(202, document)
+
+
+def make_server(
+    scheduler: Scheduler, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind the service on ``host:port`` (0 picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), scheduler)
+
+
+def serve(
+    scheduler: Scheduler,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    announce: Optional[callable] = print,
+) -> None:
+    """Run the service until interrupted (the CLI's ``serve`` verb)."""
+    server = make_server(scheduler, host, port)
+    scheduler.start()
+    if announce is not None:
+        announce(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        scheduler.stop()

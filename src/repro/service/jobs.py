@@ -1,0 +1,324 @@
+"""The job model of the experiment service.
+
+A :class:`JobSpec` is a declarative experiment request, validated at
+submission time against the registries the rest of the system already
+maintains — scene names against ``repro.workloads.scenes.SCENE_SPECS``
+and experiment names against
+``repro.analysis.experiments.registry.EXPERIMENTS``.  Two kinds exist:
+
+* ``experiment`` — run one registered figure/table experiment at a
+  scale (``{"experiment": "fig6", "scale": 0.125}``);
+* ``simulate`` — run one machine point (``{"scene": "truc640",
+  "processors": 16, "family": "block", "size": 16, ...}``) with the
+  same machine vocabulary as ``repro.analysis.batch`` campaigns.
+
+Every spec derives a deterministic **result key** from the pipeline's
+content-identity vocabulary (:mod:`repro.pipeline.keys`), so two
+submissions describing the same computation address the same result:
+the service coalesces them into one execution and serves repeats from
+the content-addressed result store.
+
+:func:`execute_payload` is the module-level (picklable) function the
+supervised worker pool runs; it revalidates the payload in the worker
+and returns a JSON-serializable result payload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from threading import Event
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.pipeline.keys import scene_key
+
+# -- job states -------------------------------------------------------
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMED_OUT = "timed-out"
+
+#: Every state a job can be in, in lifecycle order.
+STATES = (QUEUED, RUNNING, DONE, FAILED, TIMED_OUT)
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, TIMED_OUT)
+
+_FAMILIES = ("block", "sli", "bands", "single")
+_CACHES = ("lru", "perfect", "none")
+
+#: Submission keys that configure scheduling rather than the computation.
+_OPTION_KEYS = ("priority", "timeout", "retries")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Declarative description of one unit of work (content identity)."""
+
+    kind: str
+    scale: float
+    experiment: Optional[str] = None
+    scene: Optional[str] = None
+    family: str = "block"
+    processors: int = 16
+    size: int = 16
+    cache: str = "lru"
+    cache_kb: Optional[int] = None
+    ways: Optional[int] = None
+    bus_ratio: float = 1.0
+    fifo: int = 10000
+
+    def result_key(self) -> str:
+        """Content-addressed identity of this spec's result.
+
+        Built from the pipeline key vocabulary so the same computation
+        always lands on the same store entry, across processes and
+        across service restarts sharing a ``REPRO_ARTIFACT_DIR``.
+        """
+        if self.kind == "experiment":
+            return f"experiment/{self.experiment}@{self.scale:g}"
+        from repro.workloads.scenes import SCENE_SPECS
+
+        geometry = ""
+        if self.cache_kb is not None or self.ways is not None:
+            geometry = f"#{self.cache_kb or 16}kb{self.ways or 4}w"
+        return (
+            f"simulate/{scene_key(SCENE_SPECS[self.scene], self.scale)}"
+            f"/{self.family}{self.size}x{self.processors}"
+            f"/cache={self.cache}{geometry}"
+            f"/bus={self.bus_ratio:g}/fifo={self.fifo}"
+        )
+
+    def to_payload(self) -> Dict:
+        """Plain-dict form that round-trips through ``spec_from_payload``
+        (what gets pickled into a worker process)."""
+        if self.kind == "experiment":
+            return {"experiment": self.experiment, "scale": self.scale}
+        payload = {
+            name: value
+            for name, value in asdict(self).items()
+            if value is not None and name not in ("kind", "experiment")
+        }
+        return payload
+
+
+def spec_from_payload(payload: Dict) -> JobSpec:
+    """Validate a submission dict into a :class:`JobSpec`.
+
+    Raises :class:`ConfigurationError` on unknown fields, unknown
+    experiment/scene names, or out-of-range parameters — the HTTP
+    layer maps that to a 400 response.
+    """
+    from repro.analysis.experiments.registry import EXPERIMENTS
+    from repro.workloads.scenes import SCENE_NAMES, SCENE_SPECS
+
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"a job must be a JSON object, got {type(payload).__name__}")
+    known = set(JobSpec.__dataclass_fields__) - {"kind"} | set(_OPTION_KEYS)
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown job field(s) {', '.join(sorted(map(repr, unknown)))}; "
+            f"choose from {', '.join(sorted(known))}"
+        )
+
+    scale = _number(payload, "scale", default=0.25)
+    if not 0 < scale <= 1:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+
+    if "experiment" in payload:
+        name = payload["experiment"]
+        if name not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
+            )
+        return JobSpec(kind="experiment", experiment=name, scale=scale)
+
+    scene = payload.get("scene")
+    if scene is None:
+        raise ConfigurationError("a job needs an 'experiment' name or a 'scene'")
+    if scene not in SCENE_SPECS:
+        raise ConfigurationError(
+            f"unknown scene {scene!r}; choose from {', '.join(SCENE_NAMES)}"
+        )
+    family = payload.get("family", "block")
+    if family not in _FAMILIES:
+        raise ConfigurationError(
+            f"unknown family {family!r}; choose from {', '.join(_FAMILIES)}"
+        )
+    cache = payload.get("cache", "lru")
+    if cache not in _CACHES:
+        raise ConfigurationError(
+            f"unknown cache {cache!r}; choose from {', '.join(_CACHES)}"
+        )
+    processors = _integer(payload, "processors", default=16, minimum=1)
+    size = _integer(payload, "size", default=16, minimum=1)
+    fifo = _integer(payload, "fifo", default=10000, minimum=1)
+    bus_ratio = _number(payload, "bus_ratio", default=1.0)
+    if bus_ratio <= 0:
+        raise ConfigurationError(f"bus_ratio must be positive, got {bus_ratio}")
+    cache_kb = ways = None
+    if "cache_kb" in payload:
+        cache_kb = _integer(payload, "cache_kb", default=16, minimum=1)
+    if "ways" in payload:
+        ways = _integer(payload, "ways", default=4, minimum=1)
+    return JobSpec(
+        kind="simulate",
+        scene=scene,
+        scale=scale,
+        family=family,
+        processors=processors,
+        size=size,
+        cache=cache,
+        cache_kb=cache_kb,
+        ways=ways,
+        bus_ratio=bus_ratio,
+        fifo=fifo,
+    )
+
+
+def parse_submission(payload: Dict) -> Tuple[JobSpec, Dict]:
+    """Split a submission into ``(spec, scheduling options)``.
+
+    Options — ``priority`` (int, lower runs first), ``timeout``
+    (seconds per attempt) and ``retries`` (extra attempts after the
+    first) — affect scheduling only and stay out of the result key.
+    """
+    spec = spec_from_payload(payload)
+    options: Dict = {}
+    if "priority" in payload:
+        options["priority"] = _integer(payload, "priority", default=0, minimum=None)
+    if "timeout" in payload:
+        timeout = _number(payload, "timeout", default=0.0)
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
+        options["timeout"] = timeout
+    if "retries" in payload:
+        options["retries"] = _integer(payload, "retries", default=0, minimum=0)
+    return spec, options
+
+
+def _number(payload: Dict, name: str, default: float) -> float:
+    raw = payload.get(name, default)
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ConfigurationError(f"{name} must be a number, got {raw!r}")
+    return float(raw)
+
+
+def _integer(payload: Dict, name: str, default: int, minimum: Optional[int]) -> int:
+    raw = payload.get(name, default)
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ConfigurationError(f"{name} must be an int, got {raw!r}")
+    if minimum is not None and raw < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {raw}")
+    return raw
+
+
+# -- the mutable job record ------------------------------------------
+
+
+@dataclass
+class Job:
+    """One submitted request moving through the service's state machine.
+
+    ``queued → running → done | failed | timed-out``; a pool crash
+    sends a running job back to ``queued``.  Mutations happen under the
+    scheduler's lock; readers get consistent JSON via :meth:`to_json`.
+    """
+
+    id: str
+    spec: JobSpec
+    priority: int = 0
+    timeout: Optional[float] = None
+    retries: int = 0
+    state: str = QUEUED
+    attempts: int = 0
+    requeues: int = 0
+    cached: bool = False
+    error: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result_key: str = ""
+    terminal: Event = field(default_factory=Event, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.result_key:
+            self.result_key = self.spec.result_key()
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        self.state = state
+        self.error = error
+        self.finished_at = time.time()
+        self.terminal.set()
+
+    def to_json(self) -> Dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "result_key": self.result_key,
+            "spec": self.spec.to_payload(),
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "cached": self.cached,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+# -- worker-side execution -------------------------------------------
+
+
+def execute_payload(payload: Dict) -> Dict:
+    """Run one job payload; the function the worker pool executes.
+
+    Module-level and driven by a plain dict so it pickles into worker
+    processes; revalidates there (workers import the same registries).
+    Returns a JSON-serializable result payload.
+    """
+    spec = spec_from_payload(payload)
+    started = time.perf_counter()
+    if spec.kind == "experiment":
+        from repro.analysis.experiments.registry import resolve
+
+        _description, runner = resolve(spec.experiment)
+        text = runner(spec.scale)
+    else:
+        text = _simulate(spec)
+    return {
+        "key": spec.result_key(),
+        "text": text,
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+
+
+def _simulate(spec: JobSpec) -> str:
+    from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
+    from repro.core.machine import simulate_machine, single_processor_baseline
+    from repro.workloads.scenes import build_scene
+
+    machine = {
+        "family": spec.family,
+        "processors": spec.processors,
+        "size": spec.size,
+        "cache": spec.cache,
+        "bus_ratio": spec.bus_ratio,
+        "fifo": spec.fifo,
+    }
+    if spec.cache_kb is not None:
+        machine["cache_kb"] = spec.cache_kb
+    if spec.ways is not None:
+        machine["ways"] = spec.ways
+    scene = build_scene(spec.scene, spec.scale)
+    distribution = distribution_from_spec(machine, scene.height)
+    config = machine_config_from_spec(machine, distribution)
+    baseline = single_processor_baseline(scene, config)
+    result = simulate_machine(scene, config, baseline_cycles=baseline)
+    return result.summary()

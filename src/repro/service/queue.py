@@ -1,0 +1,54 @@
+"""Thread-safe priority queue feeding the scheduler.
+
+Jobs are ordered by ``(priority, sequence)`` — lower priority values
+run first, ties in submission order.  Requeued jobs (pool crash
+recovery) go back to the *front* of their priority class so work that
+was already in flight is not starved by later submissions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional
+
+from repro.service.jobs import Job
+
+
+class JobQueue:
+    """Blocking priority queue of :class:`~repro.service.jobs.Job`."""
+
+    def __init__(self) -> None:
+        self._heap: List = []
+        self._condition = threading.Condition()
+        self._sequence = itertools.count()
+        # Requeues count downward so they sort before every normal entry
+        # of the same priority.
+        self._front_sequence = itertools.count(-1, -1)
+
+    def push(self, job: Job, front: bool = False) -> None:
+        """Enqueue a job; ``front=True`` jumps its priority class."""
+        sequence = next(self._front_sequence if front else self._sequence)
+        with self._condition:
+            heapq.heappush(self._heap, (job.priority, sequence, job))
+            self._condition.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Dequeue the next job, or ``None`` if none arrived in time."""
+        with self._condition:
+            if not self._heap and not self._condition.wait_for(
+                lambda: bool(self._heap), timeout=timeout
+            ):
+                return None
+            _priority, _sequence, job = heapq.heappop(self._heap)
+            return job
+
+    def snapshot(self) -> List[Job]:
+        """The queued jobs in dispatch order (for introspection)."""
+        with self._condition:
+            return [job for _p, _s, job in sorted(self._heap)]
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._heap)

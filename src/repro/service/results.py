@@ -1,0 +1,63 @@
+"""Content-addressed result store for the experiment service.
+
+Results live in the same two-tier pipeline artifact store the sweep
+workers share (:mod:`repro.pipeline.store`), under a dedicated
+``service-result`` stage: completed jobs are ``put`` by the scheduler,
+and any later submission whose spec derives the same key is served
+from the store instead of recomputed — across clients, across service
+restarts, and (with a shared ``REPRO_ARTIFACT_DIR``) across machines
+sharing a filesystem.
+
+The store distinguishes *client-facing* lookups (:meth:`ResultStore.get`,
+counted into the hit/miss metrics `/metrics` reports) from the
+scheduler's *internal* re-checks (:meth:`ResultStore.peek`, uncounted),
+so the hit rate reflects what submitters experienced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro import pipeline
+from repro.pipeline.store import ArtifactStore
+
+#: Stage name results occupy inside the shared pipeline store.
+RESULT_STAGE = "service-result"
+
+
+class ResultStore:
+    """Keyed result payloads with client-facing hit/miss accounting."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self._store = store if store is not None else pipeline.store()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Tuple[bool, Optional[Dict]]:
+        """Client-facing lookup: counted into the hit/miss metrics."""
+        found, value = self._store.peek(RESULT_STAGE, key)
+        with self._lock:
+            if found:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return found, value
+
+    def peek(self, key: str) -> Tuple[bool, Optional[Dict]]:
+        """Internal lookup (scheduler re-checks): not counted."""
+        return self._store.peek(RESULT_STAGE, key)
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Store a completed job's result payload under its key."""
+        self._store.put(RESULT_STAGE, key, payload)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

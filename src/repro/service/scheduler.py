@@ -1,0 +1,374 @@
+"""Async scheduler and supervised worker pool of the experiment service.
+
+The :class:`Scheduler` owns the whole job lifecycle: submissions are
+validated into :class:`~repro.service.jobs.Job` records, coalesced on
+their content-addressed result key (a duplicate of a queued/running
+job attaches to it; a duplicate of a completed one is served from the
+result store), and dispatched from a priority queue onto either a
+supervised process pool (``workers >= 1``) or the dispatcher thread
+itself (``workers == 0``, inline mode).
+
+Failure semantics:
+
+* an attempt that raises is retried with exponential backoff up to the
+  job's retry budget, then the job is marked ``failed``;
+* an attempt that exceeds the job's timeout marks the attempt
+  timed-out and **restarts the pool** to reclaim the stuck worker
+  (``ProcessPoolExecutor`` cannot cancel a running task), retrying
+  within the same budget before the job ends ``timed-out``;
+* a worker process dying (``BrokenProcessPool``) restarts the pool and
+  requeues the in-flight job at the front of its priority class — an
+  infrastructure failure does not consume the job's retry budget, but
+  repeated crashes (``max_requeues``) eventually fail the job instead
+  of poisoning the queue.
+
+Inline mode cannot preempt a running attempt, so per-job timeouts are
+only enforced with a process pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import pipeline
+from repro.analysis.parallel import share_artifacts
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    Job,
+    execute_payload,
+    parse_submission,
+)
+from repro.service.queue import JobQueue
+from repro.service.results import ResultStore
+
+
+class SupervisedPool:
+    """A restartable ``ProcessPoolExecutor``.
+
+    Before (re)creating the pool the parent's pipeline artifacts are
+    spilled to the shared disk store (same plumbing as
+    ``analysis.parallel.run_tasks``) so workers hydrate precomputed
+    stage prefixes.  ``restart()`` terminates the worker processes —
+    the only way to reclaim one stuck in a timed-out task — and builds
+    a fresh executor; in-flight futures fail with
+    ``BrokenProcessPool`` and their jobs are requeued by the scheduler.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.restarts = 0
+
+    def submit(self, fn: Callable, *args):
+        with self._lock:
+            if self._pool is None:
+                share_artifacts()
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool.submit(fn, *args)
+
+    def restart(self) -> None:
+        """Kill the worker processes and drop the executor."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return
+            self.restarts += 1
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+class Scheduler:
+    """The experiment job service: queue + worker pool + result store."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        default_timeout: Optional[float] = None,
+        default_retries: int = 2,
+        backoff_base: float = 0.5,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 30.0,
+        max_requeues: int = 3,
+        results: Optional[ResultStore] = None,
+        executor: Optional[Callable[[Dict], Dict]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.default_retries = default_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.max_requeues = max_requeues
+        self.queue = JobQueue()
+        self.results = results if results is not None else ResultStore()
+        self._executor = executor if executor is not None else execute_payload
+        self._sleep = sleep
+        self._pool = SupervisedPool(workers) if workers >= 1 else None
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._live_by_key: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "deduped": 0,
+            "cache_hits": 0,
+            "completed": 0,
+            "failed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "pool_restarts": 0,
+            "requeues": 0,
+        }
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started_at = time.time()
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        """Spawn the dispatcher threads (one per worker slot)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for index in range(max(1, self.workers)):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop dispatching and tear the worker pool down."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    # -- submission --------------------------------------------------
+
+    def submit(self, payload: Dict) -> Tuple[Job, bool]:
+        """Validate and enqueue a submission; returns ``(job, deduped)``.
+
+        Duplicate of a live (queued/running) job → that job, ``True``.
+        Duplicate of a stored result → a new job born ``done`` with the
+        cached payload (a result-store hit).  Otherwise a fresh job is
+        queued.
+        """
+        spec, options = parse_submission(payload)
+        key = spec.result_key()
+        with self._lock:
+            self._counters["submitted"] += 1
+            live = self._live_by_key.get(key)
+            if live is not None and live.state not in TERMINAL_STATES:
+                self._counters["deduped"] += 1
+                return live, True
+        found, _cached = self.results.get(key)
+        with self._lock:
+            # Re-check: another thread may have queued the same key
+            # while the (possibly disk-touching) store lookup ran.
+            live = self._live_by_key.get(key)
+            if live is not None and live.state not in TERMINAL_STATES:
+                self._counters["deduped"] += 1
+                return live, True
+            job = Job(
+                id=f"job-{next(self._ids)}",
+                spec=spec,
+                priority=options.get("priority", 0),
+                timeout=options.get("timeout", self.default_timeout),
+                retries=options.get("retries", self.default_retries),
+            )
+            self._jobs[job.id] = job
+            if found:
+                self._counters["cache_hits"] += 1
+                job.cached = True
+                job.finish(DONE)
+                return job, False
+            self._live_by_key[key] = job
+        self.queue.push(job)
+        return job, False
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            if job_id not in self._jobs:
+                raise ServiceError(f"unknown job {job_id!r}")
+            return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.job(job_id)
+        if not job.terminal.wait(timeout=timeout):
+            raise ServiceError(f"{job_id} still {job.state} after {timeout}s")
+        return job
+
+    def result(self, key: str) -> Optional[Dict]:
+        """Client-facing result lookup (counts into the hit metrics)."""
+        found, payload = self.results.get(key)
+        return payload if found else None
+
+    # -- dispatch ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.pop(timeout=0.05)
+            if job is None:
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:  # defensive: never kill a dispatcher
+                with self._lock:
+                    self._counters["failed"] += 1
+                    self._finish(job, FAILED, f"scheduler error: {exc}")
+
+    def _run_job(self, job: Job) -> None:
+        # The result may have appeared while the job sat in the queue
+        # (another dispatcher finished the same key first).
+        found, _payload = self.results.peek(job.result_key)
+        if found:
+            with self._lock:
+                job.cached = True
+                self._finish(job, DONE)
+            return
+        with self._lock:
+            job.state = RUNNING
+            if job.started_at is None:
+                job.started_at = time.time()
+        while True:
+            with self._lock:
+                job.attempts += 1
+            try:
+                payload = self._execute(job)
+            except BrokenProcessPool:
+                # Either requeued (picked up again from the queue) or
+                # failed after too many crashes; this dispatch is over.
+                self._requeue_after_crash(job)
+                return
+            except FutureTimeoutError:
+                with self._lock:
+                    self._counters["timeouts"] += 1
+                if self._pool is not None:
+                    # The worker is still grinding on the dead attempt;
+                    # restarting the pool is the only way to reclaim it.
+                    self._pool.restart()
+                    with self._lock:
+                        self._counters["pool_restarts"] += 1
+                if not self._backoff_or_finish(job, TIMED_OUT, "attempt timed out"):
+                    return
+            except Exception as exc:
+                if not self._backoff_or_finish(job, FAILED, str(exc) or repr(exc)):
+                    return
+            else:
+                self.results.put(job.result_key, payload)
+                with self._lock:
+                    self._counters["completed"] += 1
+                    self._finish(job, DONE)
+                return
+
+    def _execute(self, job: Job) -> Dict:
+        payload = job.spec.to_payload()
+        if self._pool is None:
+            return self._executor(payload)
+        future = self._pool.submit(self._executor, payload)
+        return future.result(timeout=job.timeout)
+
+    def _backoff_or_finish(self, job: Job, state: str, error: str) -> bool:
+        """Retry with backoff if budget remains; else finish. True = retry."""
+        with self._lock:
+            if job.attempts > job.retries:
+                if state == FAILED:
+                    self._counters["failed"] += 1
+                self._finish(job, state, error)
+                return False
+            self._counters["retries"] += 1
+            job.error = error  # visible while the retry is pending
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (job.attempts - 1),
+            self.backoff_max,
+        )
+        self._sleep(delay)
+        return True
+
+    def _requeue_after_crash(self, job: Job) -> bool:
+        """Recover from a dead worker pool; False = job finished failed."""
+        self._pool.restart()
+        with self._lock:
+            self._counters["pool_restarts"] += 1
+            job.requeues += 1
+            job.attempts -= 1  # the crashed attempt never really ran
+            if job.requeues > self.max_requeues:
+                self._counters["failed"] += 1
+                self._finish(
+                    job, FAILED, "worker pool crashed repeatedly while running this job"
+                )
+                return False
+            self._counters["requeues"] += 1
+            job.state = QUEUED
+        self.queue.push(job, front=True)
+        return True
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        """Terminal transition; caller holds the lock."""
+        job.finish(state, error)
+        if self._live_by_key.get(job.result_key) is job:
+            del self._live_by_key[job.result_key]
+
+    # -- introspection -----------------------------------------------
+
+    def metrics(self) -> Dict:
+        """The `/metrics` document: queue, states, counters, stores."""
+        with self._lock:
+            by_state = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            counters = dict(self._counters)
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "workers": self.workers,
+            "queue_depth": len(self.queue),
+            "jobs": by_state,
+            "counters": counters,
+            "result_store": self.results.snapshot(),
+            "pipeline": pipeline.stats(),
+        }
+
+    def healthz(self) -> Dict:
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "dispatchers": sum(thread.is_alive() for thread in self._threads),
+            "uptime_seconds": time.time() - self._started_at,
+        }

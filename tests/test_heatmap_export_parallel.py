@@ -110,6 +110,25 @@ def _square(value):
     return value * value
 
 
+def _raise_on_three(value):
+    if value == 3:
+        raise ValueError("three is right out")
+    return value
+
+
+def _kill_worker_once(value):
+    """Die hard in the worker on first call; succeed on inline rerun."""
+    import os
+    import signal
+    from pathlib import Path
+
+    marker = Path(os.environ["REPRO_TEST_PARALLEL_MARKER"])
+    if not marker.exists():
+        marker.write_text("boom")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
 class TestParallel:
     def test_inline_matches_parallel(self):
         arguments = [(i,) for i in range(8)]
@@ -145,3 +164,19 @@ class TestParallel:
         # workers=1 must not pay for a pool: same code path as inline.
         arguments = [(i,) for i in range(4)]
         assert run_tasks(_square, arguments, workers=1) == [0, 1, 4, 9]
+
+    def test_failing_arguments_attached_inline(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_tasks(_raise_on_three, [(1,), (3,), (5,)], workers=0)
+        assert excinfo.value.failing_arguments == (3,)
+
+    def test_failing_arguments_attached_across_processes(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_tasks(_raise_on_three, [(1,), (3,), (5,)], workers=2)
+        assert excinfo.value.failing_arguments == (3,)
+
+    def test_broken_pool_falls_back_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_PARALLEL_MARKER", str(tmp_path / "marker"))
+        with pytest.warns(RuntimeWarning, match="rerunning the sweep inline"):
+            results = run_tasks(_kill_worker_once, [(1,), (2,)], workers=2)
+        assert results == [2, 4]

@@ -1,0 +1,430 @@
+"""Tests for the experiment job service (`repro.service`).
+
+Covers the job state machine (queued → running → done/failed/timed-out),
+retry/backoff scheduling with an injected fake clock, duplicate-submission
+coalescing on the content-addressed result key, HTTP endpoint round trips
+against an ephemeral server, and worker-pool crash recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import pipeline
+from repro.analysis.experiments.registry import EXPERIMENTS
+from repro.cli import main
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import (
+    DONE,
+    FAILED,
+    QUEUED,
+    TIMED_OUT,
+    Job,
+    JobQueue,
+    ResultStore,
+    Scheduler,
+    ServiceClient,
+    make_server,
+    parse_submission,
+    spec_from_payload,
+)
+
+SCALE = 0.0625
+SIM_PAYLOAD = {"scene": "truc640", "scale": SCALE, "processors": 4, "size": 16}
+
+#: Marker file (via env) letting fork-side helpers act once, then succeed.
+_MARKER_ENV = "REPRO_TEST_SERVICE_MARKER"
+
+
+def _kill_once(payload):
+    """Worker-side: die hard on the first run, succeed on the retry."""
+    marker = Path(os.environ[_MARKER_ENV])
+    if not marker.exists():
+        marker.write_text("boom")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"key": "k", "text": "survived", "elapsed_seconds": 0.0}
+
+
+def _sleep_forever(payload):
+    time.sleep(60.0)
+    return {"key": "k", "text": "slept", "elapsed_seconds": 60.0}
+
+
+@pytest.fixture
+def isolated_store(tmp_path):
+    """Give each test its own artifact store (memory + private disk tier)."""
+    previous = os.environ.get(pipeline.ARTIFACT_DIR_ENV_VAR)
+    disk = tmp_path / "artifacts"
+    os.environ[pipeline.ARTIFACT_DIR_ENV_VAR] = str(disk)
+    pipeline.configure(disk_dir=disk)
+    yield
+    if previous is None:
+        os.environ.pop(pipeline.ARTIFACT_DIR_ENV_VAR, None)
+    else:
+        os.environ[pipeline.ARTIFACT_DIR_ENV_VAR] = previous
+    pipeline.configure(disk_dir=previous)
+
+
+@pytest.fixture
+def make_scheduler():
+    """Scheduler factory that guarantees teardown."""
+    created = []
+
+    def factory(**kwargs):
+        scheduler = Scheduler(**kwargs)
+        created.append(scheduler)
+        return scheduler
+
+    yield factory
+    for scheduler in created:
+        scheduler.stop(timeout=5.0)
+
+
+@pytest.fixture
+def echo_experiment():
+    """A registered throwaway experiment with a trivial runner."""
+    name = "svc-test-echo"
+    EXPERIMENTS[name] = ("service test echo", lambda scale: f"echo@{scale:g}")
+    yield name
+    del EXPERIMENTS[name]
+
+
+class TestJobSpec:
+    def test_experiment_spec_and_key(self):
+        spec = spec_from_payload({"experiment": "table1", "scale": 0.25})
+        assert spec.kind == "experiment"
+        assert spec.result_key() == "experiment/table1@0.25"
+
+    def test_simulate_key_is_deterministic_and_discriminating(self):
+        first = spec_from_payload(dict(SIM_PAYLOAD))
+        second = spec_from_payload(dict(SIM_PAYLOAD))
+        assert first.result_key() == second.result_key()
+        other = spec_from_payload({**SIM_PAYLOAD, "processors": 8})
+        assert other.result_key() != first.result_key()
+
+    def test_payload_round_trip(self):
+        for payload in ({"experiment": "table1"}, dict(SIM_PAYLOAD)):
+            spec = spec_from_payload(payload)
+            assert spec_from_payload(spec.to_payload()) == spec
+
+    def test_rejects_unknown_names_and_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            spec_from_payload({"experiment": "fig99"})
+        with pytest.raises(ConfigurationError, match="unknown scene"):
+            spec_from_payload({"scene": "doom"})
+        with pytest.raises(ConfigurationError, match="unknown family"):
+            spec_from_payload({"scene": "quake", "family": "spiral"})
+        with pytest.raises(ConfigurationError, match="unknown job field"):
+            spec_from_payload({"scene": "quake", "colour": "red"})
+        with pytest.raises(ConfigurationError, match="'experiment' name or a 'scene'"):
+            spec_from_payload({"scale": 0.5})
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            spec_from_payload({"experiment": "table1", "scale": 2.0})
+        with pytest.raises(ConfigurationError, match="processors"):
+            spec_from_payload({"scene": "quake", "processors": 0})
+        with pytest.raises(ConfigurationError, match="bus_ratio"):
+            spec_from_payload({"scene": "quake", "bus_ratio": -1.0})
+
+    def test_options_are_split_from_the_spec(self):
+        spec, options = parse_submission(
+            {**SIM_PAYLOAD, "priority": -5, "timeout": 2.5, "retries": 1}
+        )
+        assert options == {"priority": -5, "timeout": 2.5, "retries": 1}
+        # Scheduling options must not change the content identity.
+        assert spec.result_key() == spec_from_payload(dict(SIM_PAYLOAD)).result_key()
+        with pytest.raises(ConfigurationError, match="timeout"):
+            parse_submission({**SIM_PAYLOAD, "timeout": 0})
+
+
+class TestJobQueue:
+    def _job(self, priority=0):
+        spec = spec_from_payload({"experiment": "table1"})
+        return Job(id=f"j{priority}", spec=spec, priority=priority)
+
+    def test_priority_then_fifo_order(self):
+        queue = JobQueue()
+        first, second, urgent = self._job(0), self._job(0), self._job(-1)
+        second.id = "j-second"
+        queue.push(first)
+        queue.push(second)
+        queue.push(urgent)
+        assert [queue.pop().id for _ in range(3)] == [urgent.id, first.id, second.id]
+
+    def test_requeue_jumps_the_line(self):
+        queue = JobQueue()
+        first, crashed = self._job(0), self._job(0)
+        crashed.id = "j-crashed"
+        queue.push(first)
+        queue.push(crashed, front=True)
+        assert queue.pop().id == crashed.id
+
+    def test_pop_times_out_empty(self):
+        queue = JobQueue()
+        assert queue.pop(timeout=0.01) is None
+        assert len(queue) == 0
+
+
+class TestResultStore:
+    def test_get_counts_peek_does_not(self, isolated_store):
+        store = ResultStore()
+        found, _ = store.get("some/key")
+        assert not found and store.snapshot()["misses"] == 1
+        store.put("some/key", {"text": "hi"})
+        assert store.peek("some/key") == (True, {"text": "hi"})
+        assert store.snapshot() == {"hits": 0, "misses": 1, "hit_rate": 0.0}
+        found, payload = store.get("some/key")
+        assert found and payload["text"] == "hi"
+        assert store.snapshot()["hits"] == 1
+
+    def test_results_survive_via_the_disk_tier(self, isolated_store, tmp_path):
+        ResultStore().put("persist/key", {"text": "durable"})
+        # A new in-memory store over the same directory sees the result.
+        pipeline.configure(disk_dir=tmp_path / "artifacts")
+        assert ResultStore().get("persist/key") == (True, {"text": "durable"})
+
+
+class TestJobLifecycle:
+    def test_queued_running_done(self, isolated_store, make_scheduler, echo_experiment):
+        scheduler = make_scheduler(workers=0)
+        job, deduped = scheduler.submit({"experiment": echo_experiment, "scale": SCALE})
+        assert not deduped and job.state == QUEUED
+        scheduler.start()
+        done = scheduler.wait(job.id, timeout=30)
+        assert done.state == DONE and done.attempts == 1 and done.error is None
+        assert done.started_at is not None and done.finished_at is not None
+        assert scheduler.result(job.result_key)["text"] == f"echo@{SCALE:g}"
+        metrics = scheduler.metrics()
+        assert metrics["jobs"][DONE] == 1 and metrics["counters"]["completed"] == 1
+
+    def test_failure_is_terminal_with_the_error(self, isolated_store, make_scheduler):
+        name = "svc-test-boom"
+        EXPERIMENTS[name] = ("always fails", lambda scale: 1 / 0)
+        try:
+            scheduler = make_scheduler(workers=0, default_retries=0).start()
+            job, _ = scheduler.submit({"experiment": name, "scale": SCALE})
+            done = scheduler.wait(job.id, timeout=30)
+            assert done.state == FAILED and "division" in done.error
+            assert scheduler.metrics()["counters"]["failed"] == 1
+            # A failed job releases its key: resubmission runs again.
+            retry, deduped = scheduler.submit({"experiment": name, "scale": SCALE})
+            assert not deduped and retry.id != job.id
+        finally:
+            del EXPERIMENTS[name]
+
+    def test_unknown_job_id(self, make_scheduler):
+        with pytest.raises(ServiceError, match="unknown job"):
+            make_scheduler(workers=0).job("job-404")
+
+
+class TestRetryBackoff:
+    def test_exponential_backoff_schedule(self, isolated_store, make_scheduler):
+        """Two failures then success: sleeps follow base * factor**n."""
+        attempts = []
+        name = "svc-test-flaky"
+        def flaky(scale):
+            attempts.append(scale)
+            if len(attempts) < 3:
+                raise RuntimeError(f"flake #{len(attempts)}")
+            return "recovered"
+        EXPERIMENTS[name] = ("flaky", flaky)
+        sleeps = []
+        try:
+            scheduler = make_scheduler(
+                workers=0,
+                default_retries=3,
+                backoff_base=0.5,
+                backoff_factor=2.0,
+                sleep=sleeps.append,
+            ).start()
+            job, _ = scheduler.submit({"experiment": name, "scale": SCALE})
+            done = scheduler.wait(job.id, timeout=30)
+            assert done.state == DONE and done.attempts == 3
+            assert sleeps == [0.5, 1.0]
+            assert scheduler.metrics()["counters"]["retries"] == 2
+            assert scheduler.result(job.result_key)["text"] == "recovered"
+        finally:
+            del EXPERIMENTS[name]
+
+    def test_budget_exhaustion_fails_after_all_retries(
+        self, isolated_store, make_scheduler
+    ):
+        name = "svc-test-hopeless"
+        EXPERIMENTS[name] = ("hopeless", lambda scale: 1 / 0)
+        sleeps = []
+        try:
+            scheduler = make_scheduler(workers=0, sleep=sleeps.append).start()
+            job, _ = scheduler.submit(
+                {"experiment": name, "scale": SCALE, "retries": 2}
+            )
+            done = scheduler.wait(job.id, timeout=30)
+            assert done.state == FAILED and done.attempts == 3
+            assert len(sleeps) == 2  # one backoff between each attempt pair
+        finally:
+            del EXPERIMENTS[name]
+
+    def test_backoff_is_capped(self, make_scheduler):
+        scheduler = make_scheduler(backoff_base=10.0, backoff_max=15.0)
+        job = Job(id="x", spec=spec_from_payload({"experiment": "table1"}), retries=5)
+        job.attempts = 4
+        sleeps = []
+        scheduler._sleep = sleeps.append
+        assert scheduler._backoff_or_finish(job, FAILED, "err")
+        assert sleeps == [15.0]
+
+
+class TestCoalescing:
+    def test_live_duplicates_share_one_job(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler = make_scheduler(workers=0)  # not started: jobs stay queued
+        payload = {"experiment": echo_experiment, "scale": SCALE}
+        first, deduped_first = scheduler.submit(payload)
+        second, deduped_second = scheduler.submit(payload)
+        assert not deduped_first and deduped_second
+        assert second is first
+        metrics = scheduler.metrics()
+        assert metrics["counters"]["deduped"] == 1
+        assert metrics["queue_depth"] == 1
+
+    def test_resubmission_after_completion_hits_the_store(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler = make_scheduler(workers=0).start()
+        payload = {"experiment": echo_experiment, "scale": SCALE}
+        first, _ = scheduler.submit(payload)
+        scheduler.wait(first.id, timeout=30)
+        second, deduped = scheduler.submit(payload)
+        assert not deduped and second.id != first.id
+        assert second.state == DONE and second.cached and second.attempts == 0
+        snapshot = scheduler.metrics()["result_store"]
+        assert snapshot["misses"] == 1 and snapshot["hits"] == 1
+        assert scheduler.metrics()["counters"]["cache_hits"] == 1
+
+    def test_different_options_same_computation_coalesce(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler = make_scheduler(workers=0)
+        first, _ = scheduler.submit({"experiment": echo_experiment, "priority": 3})
+        second, deduped = scheduler.submit({"experiment": echo_experiment, "retries": 9})
+        assert deduped and second is first
+
+
+@pytest.fixture
+def http_service(isolated_store, make_scheduler, echo_experiment):
+    """A live ephemeral-port server + client around an inline scheduler."""
+    scheduler = make_scheduler(workers=0).start()
+    server = make_server(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(server.url), scheduler, echo_experiment
+    server.shutdown()
+    server.server_close()
+
+
+class TestHTTP:
+    def test_round_trip(self, http_service):
+        client, _scheduler, experiment = http_service
+        assert client.healthz()["status"] == "ok"
+        job = client.submit({"experiment": experiment, "scale": SCALE})
+        assert job["state"] in (QUEUED, "running", DONE) and not job["deduped"]
+        done = client.wait(job["id"], timeout=30)
+        assert done["state"] == DONE
+        assert client.result(done["result_key"])["text"] == f"echo@{SCALE:g}"
+        listing = client.jobs()
+        assert any(entry["id"] == job["id"] for entry in listing["jobs"])
+
+    def test_metrics_document_shape(self, http_service):
+        client, _scheduler, experiment = http_service
+        client.wait(client.submit({"experiment": experiment, "scale": SCALE})["id"], 30)
+        metrics = client.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["jobs"][DONE] == 1
+        for counter in ("retries", "timeouts", "pool_restarts", "deduped"):
+            assert counter in metrics["counters"]
+        assert set(metrics["result_store"]) == {"hits", "misses", "hit_rate"}
+        assert "pipeline" in metrics
+
+    def test_error_responses(self, http_service):
+        client, _scheduler, _experiment = http_service
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            client.submit({"experiment": "fig99"})
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.job("job-404")
+        with pytest.raises(ServiceError, match="no result stored"):
+            client.result("simulate/never-ran")
+        with pytest.raises(ServiceError, match="unknown path"):
+            client._request("GET", "/nope")
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            ServiceClient("http://127.0.0.1:9", timeout=0.5).healthz()
+
+    def test_run_convenience(self, http_service):
+        client, _scheduler, experiment = http_service
+        payload = client.run({"experiment": experiment, "scale": SCALE}, timeout=30)
+        assert payload["text"] == f"echo@{SCALE:g}"
+
+
+class TestCliServiceVerbs:
+    def test_list_includes_utility_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for command in ("serve", "submit", "status", "dump-trace", "batch"):
+            assert command in out
+        assert "table1" in out and "fig8" in out
+
+    def test_submit_and_status_verbs(self, http_service, capsys):
+        client, _scheduler, experiment = http_service
+        assert main(["submit", "--url", client.base_url, "--run", experiment,
+                     "--scale", str(SCALE), "--wait"]) == 0
+        out = capsys.readouterr().out
+        assert f"echo@{SCALE:g}" in out
+        submitted = json.loads(out[: out.rindex("}") + 1])
+        assert main(["status", "--url", client.base_url, "--id", submitted["id"]]) == 0
+        assert json.loads(capsys.readouterr().out)["state"] == DONE
+        assert main(["status", "--url", client.base_url]) == 0
+        assert "result_store" in json.loads(capsys.readouterr().out)
+
+    def test_submit_rejects_bad_job_json(self, capsys):
+        assert main(["submit", "--job", "{not json"]) == 2
+        assert "--job is not valid JSON" in capsys.readouterr().err
+
+    def test_unreachable_service_is_a_clean_error(self, capsys):
+        assert main(["status", "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestPoolRecovery:
+    def test_killed_worker_is_requeued_and_completes(
+        self, isolated_store, make_scheduler, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(_MARKER_ENV, str(tmp_path / "crash-marker"))
+        scheduler = make_scheduler(workers=1, executor=_kill_once).start()
+        job, _ = scheduler.submit({"experiment": "table1", "scale": SCALE})
+        done = scheduler.wait(job.id, timeout=60)
+        assert done.state == DONE
+        assert done.requeues == 1
+        assert scheduler.result(job.result_key)["text"] == "survived"
+        counters = scheduler.metrics()["counters"]
+        assert counters["pool_restarts"] >= 1 and counters["requeues"] == 1
+
+    def test_timeout_marks_the_job_timed_out(
+        self, isolated_store, make_scheduler
+    ):
+        scheduler = make_scheduler(workers=1, executor=_sleep_forever).start()
+        job, _ = scheduler.submit(
+            {"experiment": "table1", "scale": SCALE, "timeout": 0.5, "retries": 0}
+        )
+        done = scheduler.wait(job.id, timeout=60)
+        assert done.state == TIMED_OUT
+        counters = scheduler.metrics()["counters"]
+        assert counters["timeouts"] == 1
+        # The stuck worker was reclaimed by restarting the pool.
+        assert counters["pool_restarts"] >= 1
