@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI gate: golden-value regression check plus a traced CLI run.
+
+Two halves, both against the committed ``tests/golden/`` files:
+
+1. **Golden diff** — recompute every golden point in-process (via
+   ``tests.golden_common``, the same helper the pytest suite uses) and
+   fail with a per-quantity report on any drift.
+2. **Traced CLI run** — run one of those points through the real
+   ``repro-experiments run`` verb with ``--trace-out``/``--metrics-out``,
+   then validate the Chrome trace schema (every event carries
+   ``ph``/``ts``/``pid``/``tid``), check the metrics dump quotes the
+   obs registry, and cross-check the summary line's cycle count against
+   the golden file — proving the observability path and the plain path
+   tell the same story.
+
+    PYTHONPATH=src python scripts/golden_check.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from tests.golden_common import (  # noqa: E402
+    GOLDEN_POINTS,
+    GOLDEN_SCALE,
+    check_all,
+    golden_path,
+    load_golden,
+)
+
+#: The golden point the traced CLI run exercises (block16 x 4 on truc640).
+CLI_POINT = ("truc640", "block", 16, 4)
+
+
+def check_goldens() -> int:
+    problems = check_all()
+    if problems:
+        print("golden check: FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        print(
+            "  (intentional change? re-baseline with "
+            "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py)"
+        )
+        return 1
+    print(f"golden check: OK — {len(GOLDEN_POINTS)} points match exactly")
+    return 0
+
+
+def check_traced_cli_run() -> int:
+    scene, family, size, processors = CLI_POINT
+    golden = load_golden(golden_path(scene, family, size, processors))
+    with tempfile.TemporaryDirectory(prefix="repro-golden-") as temp:
+        trace_path = Path(temp) / "trace.json"
+        metrics_path = Path(temp) / "metrics.json"
+        command = [
+            sys.executable, "-m", "repro.cli", "run",
+            "--scene", scene, "--family", family,
+            "--size", str(size), "--processors", str(processors),
+            "--scale", str(GOLDEN_SCALE),
+            # A small FIFO forces the event-driven timing path, which is
+            # what samples occupancy (counter events) into the trace; on
+            # this point it never blocks, so cycles still match the
+            # golden file's fast-path number.
+            "--fifo", "8",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+        proc = subprocess.run(
+            command, capture_output=True, text=True, cwd=ROOT,
+            env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+        )
+        if proc.returncode != 0:
+            print(f"traced run: FAILED (exit {proc.returncode})")
+            print(proc.stdout + proc.stderr)
+            return 1
+
+        match = re.search(r"cycles=(\d+)", proc.stdout)
+        if not match:
+            print(f"traced run: no cycles in output: {proc.stdout!r}")
+            return 1
+        cycles = int(match.group(1))
+        want = round(golden["metrics"]["cycles"])
+        if cycles != want:
+            print(f"traced run: cycles={cycles}, golden says {want}")
+            return 1
+
+        trace = json.loads(trace_path.read_text())
+        events = trace.get("traceEvents", [])
+        if not events:
+            print("traced run: empty traceEvents")
+            return 1
+        for event in events:
+            missing = {"ph", "ts", "pid", "tid"} - set(event)
+            if missing:
+                print(f"traced run: event missing {missing}: {event}")
+                return 1
+            if event["ph"] == "X" and event.get("dur", -1) < 0:
+                print(f"traced run: negative span duration: {event}")
+                return 1
+        phases = {event["ph"] for event in events}
+        if not {"X", "C", "M"} <= phases:
+            print(f"traced run: expected X/C/M events, got {sorted(phases)}")
+            return 1
+
+        dump = json.loads(metrics_path.read_text())
+        for section in ("registry", "pipeline", "trace"):
+            if section not in dump:
+                print(f"traced run: metrics dump missing {section!r}")
+                return 1
+        counters = dump["registry"]["counters"]
+        if counters.get("machine.simulations", 0) < 1:
+            print(f"traced run: no simulations counted: {counters}")
+            return 1
+        nodes = dump["trace"]["nodes"]
+        if len(nodes) != processors:
+            print(f"traced run: expected {processors} node rows, got {sorted(nodes)}")
+            return 1
+        spans = len([e for e in events if e["ph"] == "X"])
+        print(
+            f"traced run: OK — cycles={cycles}, {spans} spans, "
+            f"{len(nodes)} node rows, {len(events)} trace events"
+        )
+    return 0
+
+
+def main() -> int:
+    return check_goldens() or check_traced_cli_run()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,10 @@ process, submits a tiny-scale job through the Python client, polls it
 to completion, resubmits the identical job, and asserts the service's
 `/metrics` prove the dedup story: exactly one result-store miss (the
 first computation) followed by one hit (the cached resubmission,
-``cached: true`` and no second computation).
+``cached: true`` and no second computation).  The same document's
+``obs`` section must mirror that story (``service.*`` counters, the
+``span.service.execute`` histogram) and carry the simulator-level
+``cache.*``/``bus.*`` counters the execution published.
 
     PYTHONPATH=src python scripts/service_smoke.py
 """
@@ -60,6 +63,27 @@ def main() -> int:
         assert store["hits"] == 1, f"expected exactly one store hit: {store}"
         assert metrics["jobs"]["done"] == 2, metrics["jobs"]
         assert metrics["counters"]["completed"] == 1, metrics["counters"]
+
+        # The obs registry snapshot must carry the same story plus the
+        # simulator-level counters the one real execution published.
+        snapshot = metrics["obs"]
+        counters = snapshot["counters"]
+        assert counters["service.submitted"] == 2, counters
+        assert counters["service.completed"] == 1, counters
+        assert counters["service.cache_hits"] == 1, counters
+        assert counters["machine.simulations"] >= 1, counters
+        cache_keys = [k for k in counters if k.startswith("cache.")]
+        assert cache_keys, f"no simulator cache counters in {sorted(counters)}"
+        assert counters['cache.fragments{scene=truc640}'] > 0, counters
+        assert counters['cache.texels_fetched{scene=truc640}'] > 0, counters
+        bus_keys = [k for k in counters if k.startswith("bus.")]
+        assert bus_keys, f"no bus counters in {sorted(counters)}"
+        gauges = snapshot["gauges"]
+        assert gauges["service.queue_depth"] == 0, gauges
+        histograms = snapshot["histograms"]
+        assert histograms["span.service.execute"]["count"] == 1, histograms
+        stage_spans = [k for k in histograms if k.startswith("span.stage.")]
+        assert stage_spans, f"no stage spans in {sorted(histograms)}"
 
         text = client.result(second["result_key"])["text"]
         assert "truc640" in text and "speedup" in text, text

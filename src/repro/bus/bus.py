@@ -29,9 +29,16 @@ class BusModel:
             )
         self.texels_per_cycle = texels_per_cycle
         self.free_at: float = 0.0
+        #: Lifetime accounting (instrumentation; never affects timing).
+        self.transfers = 0
+        self.texels_delivered = 0
+        self.busy_cycles: float = 0.0
 
     def reset(self) -> None:
         self.free_at = 0.0
+        self.transfers = 0
+        self.texels_delivered = 0
+        self.busy_cycles = 0.0
 
     def transfer_cycles(self, texels: int) -> float:
         """Cycles needed to move ``texels`` across the bus."""
@@ -47,5 +54,30 @@ class BusModel:
         bandwidth under the bus limit can still saturate it in bursts.
         """
         begin = max(self.free_at, start)
-        self.free_at = begin + self.transfer_cycles(texels)
+        cycles = self.transfer_cycles(texels)
+        self.free_at = begin + cycles
+        self.transfers += 1
+        self.texels_delivered += texels
+        self.busy_cycles += cycles
         return self.free_at
+
+    def totals(self) -> dict:
+        """Lifetime transfer accounting, for :func:`publish_bus_totals`."""
+        return {
+            "transfers": self.transfers,
+            "texels": self.texels_delivered,
+            "busy_cycles": self.busy_cycles,
+        }
+
+
+def publish_bus_totals(registry, totals: dict, **labels) -> None:
+    """Add one machine run's bus totals into the metrics registry.
+
+    ``registry`` is a :class:`repro.obs.MetricsRegistry`; counters are
+    cumulative across runs, per the usual metrics semantics.
+    """
+    for field, amount in totals.items():
+        counter = registry.counter(f"bus.{field}")
+        if labels:
+            counter = counter.labels(**labels)
+        counter.inc(amount)

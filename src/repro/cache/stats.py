@@ -42,6 +42,28 @@ class CacheRunResult:
             return 0.0
         return self.texels_fetched / self.fragments
 
+    def publish(self, registry, **labels) -> None:
+        """Add this replay's totals into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry`; the
+        counters (``cache.fragments``, ``cache.misses``, ...) are
+        cumulative across runs, and ``labels`` (e.g. ``scene=...``)
+        select a labeled child per series.
+        """
+        totals = {
+            "fragments": self.fragments,
+            "texel_accesses": self.texel_accesses,
+            "line_accesses": self.line_accesses,
+            "misses": self.misses,
+            "compulsory_misses": self.compulsory_misses,
+            "texels_fetched": self.texels_fetched,
+        }
+        for field, amount in totals.items():
+            counter = registry.counter(f"cache.{field}")
+            if labels:
+                counter = counter.labels(**labels)
+            counter.inc(amount)
+
     def merged_with(self, other: "CacheRunResult") -> "CacheRunResult":
         """Aggregate two runs (e.g. the same machine's nodes)."""
         if len(self.texels_by_triangle) == 0:

@@ -6,6 +6,8 @@ Examples::
     repro-experiments table1
     repro-experiments fig6 --scale 0.5
     repro-experiments all --scale 0.25 --out results/
+    repro-experiments run --scene truc640 --processors 4 --size 16 \
+        --trace-out trace.json --metrics-out metrics.json
     repro-experiments dump-trace --scene quake --path quake.trace
     repro-experiments replay-trace --path quake.trace --processors 16
     repro-experiments serve --port 8765 --workers 2
@@ -31,6 +33,7 @@ from repro.workloads.scenes import experiment_scale
 _COMMANDS = {
     "list": "enumerate registered experiments and utility commands",
     "all": "run every registered experiment",
+    "run": "simulate one machine point (--scene, --family, --processors, --size)",
     "dump-trace": "write a scene's triangle trace to --path",
     "replay-trace": "simulate a trace file (--path, --processors, --width)",
     "batch": "run a JSON campaign file (--path, optionally --out)",
@@ -99,6 +102,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="block width for replay-trace (default: 16)",
     )
     parser.add_argument(
+        "--fifo",
+        type=int,
+        default=None,
+        help="run/submit: triangle FIFO capacity (default: 10000; small values "
+        "force the event-driven timing path)",
+    )
+    parser.add_argument(
+        "--bus-ratio",
+        type=float,
+        default=None,
+        help="run/submit: texel-to-fragment bus bandwidth ratio (default: 1.0)",
+    )
+    parser.add_argument(
         "--workers",
         default=None,
         help=(
@@ -110,6 +126,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print per-stage pipeline timings and artifact hit rates at exit",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=(
+            "enable the event recorder and write a Chrome trace-event JSON "
+            "of the run to FILE (open it in chrome://tracing)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help=(
+            "write a JSON metrics dump (registry snapshot, pipeline stats "
+            "and, with --trace-out, trace summaries) to FILE at exit"
+        ),
     )
     service = parser.add_argument_group("job service (serve / submit / status)")
     service.add_argument(
@@ -233,6 +267,45 @@ def _replay_trace(args) -> int:
     return 0
 
 
+def _run_point(args, scale: float) -> int:
+    """``run``: simulate one machine point through the job vocabulary."""
+    from repro.service.jobs import execute_payload
+
+    payload = {
+        "scene": args.scene,
+        "family": args.family,
+        "processors": args.processors,
+        "size": args.size,
+        "scale": scale,
+    }
+    if args.fifo is not None:
+        payload["fifo"] = args.fifo
+    if args.bus_ratio is not None:
+        payload["bus_ratio"] = args.bus_ratio
+    result = execute_payload(payload)
+    print(result["text"])
+    return 0
+
+
+def _write_observability(args) -> None:
+    """Write the ``--trace-out`` / ``--metrics-out`` files, if asked."""
+    from repro import obs, pipeline
+
+    recorder = obs.recorder()
+    if args.trace_out is not None and recorder.enabled:
+        recorder.write_chrome_trace(args.trace_out)
+        print(f"[wrote Chrome trace to {args.trace_out} — open in chrome://tracing]")
+    if args.metrics_out is not None:
+        dump = {
+            "registry": obs.registry().snapshot(),
+            "pipeline": pipeline.stats(),
+        }
+        if recorder.enabled:
+            dump["trace"] = recorder.summary()
+        args.metrics_out.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote metrics dump to {args.metrics_out}]")
+
+
 def _run_batch(args) -> int:
     from repro.analysis.batch import run_batch_file
 
@@ -286,6 +359,10 @@ def _submit_payload(args, scale: Optional[float]) -> dict:
             "processors": args.processors,
             "size": args.size,
         }
+        if args.fifo is not None:
+            payload["fifo"] = args.fifo
+        if args.bus_ratio is not None:
+            payload["bus_ratio"] = args.bus_ratio
     if scale is not None:
         payload["scale"] = scale
     if args.priority is not None:
@@ -349,6 +426,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.workers is not None:
         _apply_workers(args.workers)
+    if args.trace_out is not None:
+        from repro import obs
+
+        obs.enable_tracing()
 
     if args.experiment == "list":
         _list_registry()
@@ -366,6 +447,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "submit":
         # An unset --scale defers to the service's default for the job.
         status = _submit(args)
+    elif args.experiment == "run":
+        status = _run_point(args, scale)
     elif args.experiment == "dump-trace":
         status = _dump_trace(args, scale)
     elif args.experiment == "replay-trace":
@@ -390,6 +473,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     if args.timings:
         _print_timings()
+    if args.trace_out is not None or args.metrics_out is not None:
+        _write_observability(args)
     return status
 
 

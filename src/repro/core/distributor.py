@@ -45,6 +45,7 @@ def _distributor_process(
     blocked_per_node = stats.setdefault(
         "blocked_per_node", [0.0] * len(fifos)
     )
+    recorder = sim.recorder
     for triangle, node, pixels, texels in stream:
         if release is not None and sim.now < release[triangle]:
             yield sim.timeout(release[triangle] - sim.now)
@@ -54,6 +55,11 @@ def _distributor_process(
         if waited > 0:
             stats["blocked_cycles"] = stats.get("blocked_cycles", 0.0) + waited
             blocked_per_node[node] += waited
+            if recorder is not None:
+                recorder.span(
+                    ("sim", "distributor"), "blocked", before, sim.now,
+                    args={"node": node, "triangle": triangle},
+                )
     for fifo in fifos:
         yield fifo.put(_END)
 
@@ -67,12 +73,22 @@ def _node_process(
     node_id: int,
 ):
     """Generator draining one node's FIFO until the end sentinel."""
+    recorder = sim.recorder
+    track = ("sim", f"node-{node_id}")
     while True:
         item = yield fifo.get()
         if item is _END:
             break
         pixels, texels = item
-        end = triangle_service_time(sim.now, pixels, texels, setup_cycles, bus)
+        start = sim.now
+        end = triangle_service_time(start, pixels, texels, setup_cycles, bus)
+        if recorder is not None:
+            # The engine is occupied for max(pixels, setup) cycles; any
+            # extra wait for the bus shows up as an explicit stall span.
+            busy_end = start + max(pixels, setup_cycles)
+            recorder.span(track, "busy", start, busy_end, args={"texels": texels})
+            if end > busy_end:
+                recorder.span(track, "stall", busy_end, end)
         if end > sim.now:
             yield sim.timeout(end - sim.now)
         finish_out[node_id] = sim.now
@@ -107,23 +123,28 @@ def run_event_machine(
     bus_ratio: float,
     release: Optional[np.ndarray] = None,
     stats: Optional[dict] = None,
+    recorder=None,
 ) -> Tuple[float, List[float]]:
     """Simulate the machine with finite FIFOs; returns (cycles, per-node finish).
 
     ``release`` (per-triangle geometry release times) throttles the
     distributor when a finite-rate geometry stage is modelled.
     ``stats`` (optional dict) receives head-of-line accounting:
-    ``blocked_cycles``, ``blocked_per_node`` and ``fifo_high_water``.
+    ``blocked_cycles``, ``blocked_per_node``, ``fifo_high_water`` and
+    aggregate ``bus_totals``.  ``recorder`` (optional event recorder)
+    is threaded into the kernel, the FIFOs and the node processes;
+    simulated timing is identical with or without it.
     """
-    sim = Simulator()
+    sim = Simulator(recorder=recorder)
     fifos = [
-        BoundedFifo(sim, fifo_capacity, name=f"tri-fifo-{n}")
+        BoundedFifo(sim, fifo_capacity, name=f"tri-fifo-{n}", recorder=recorder)
         for n in range(num_processors)
     ]
+    buses = [BusModel(bus_ratio) for _ in range(num_processors)]
     finish = [0.0] * num_processors
     processes = [
         sim.process(
-            _node_process(sim, fifos[n], setup_cycles, BusModel(bus_ratio), finish, n),
+            _node_process(sim, fifos[n], setup_cycles, buses[n], finish, n),
             name=f"node-{n}",
         )
         for n in range(num_processors)
@@ -138,4 +159,9 @@ def run_event_machine(
     )
     total = sim.run_all(processes)
     stats["fifo_high_water"] = [fifo.high_water for fifo in fifos]
+    stats["bus_totals"] = {
+        "transfers": sum(bus.transfers for bus in buses),
+        "texels": sum(bus.texels_delivered for bus in buses),
+        "busy_cycles": sum(bus.busy_cycles for bus in buses),
+    }
     return total, finish

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.bus.bus import BusModel, publish_bus_totals
 from repro.cache.models import make_cache_model
 from repro.core.config import MachineConfig
 from repro.core.distributor import interleave_stream, run_event_machine
@@ -65,7 +66,13 @@ def simulate_machine(
         raise ConfigurationError(
             f"timing_mode must be one of {TIMING_MODES}, got {timing_mode!r}"
         )
+    from repro import obs
     from repro.pipeline import stage_timer
+
+    # One attribute check up front: the hot loops below see either a
+    # live recorder or None, never the null object's method dispatch.
+    active = obs.recorder()
+    recorder = active if active.enabled else None
 
     work = routed or build_routed_work(
         scene,
@@ -88,6 +95,7 @@ def simulate_machine(
         use_fast = timing_mode == "fast"
 
     extras: dict = {}
+    bus_totals = {"transfers": 0, "texels": 0, "busy_cycles": 0.0}
     with stage_timer("timing"):
         if use_fast:
             finish = np.zeros(n)
@@ -95,16 +103,22 @@ def simulate_machine(
             stall = np.zeros(n)
             for node in range(n):
                 arrivals = release[work.triangles[node]] if release is not None else None
+                bus = BusModel(config.bus_ratio)
                 timing = drain_node(
                     work.pixels[node],
                     work.texels[node],
                     config.setup_cycles,
                     config.bus_ratio,
                     arrivals=arrivals,
+                    recorder=recorder,
+                    node_id=node,
+                    bus=bus,
                 )
                 finish[node] = timing.finish
                 busy[node] = timing.busy_cycles
                 stall[node] = timing.stall_cycles
+                for field, amount in bus.totals().items():
+                    bus_totals[field] += amount
             cycles = float(finish.max()) if n else 0.0
         else:
             stream = interleave_stream(work.triangles, work.pixels, work.texels)
@@ -117,6 +131,7 @@ def simulate_machine(
                 config.bus_ratio,
                 release=release,
                 stats=event_stats,
+                recorder=recorder,
             )
             finish = np.asarray(node_finish)
             busy = np.array(
@@ -124,11 +139,17 @@ def simulate_machine(
                 dtype=float,
             )
             stall = finish - busy
+            bus_totals = event_stats.get("bus_totals", bus_totals)
             extras = {
                 "distributor_blocked_cycles": event_stats.get("blocked_cycles", 0.0),
                 "distributor_blocked_per_node": event_stats.get("blocked_per_node"),
                 "fifo_high_water": event_stats.get("fifo_high_water"),
             }
+
+    registry = obs.registry()
+    registry.counter("machine.simulations").inc()
+    publish_bus_totals(registry, bus_totals, scene=scene.name)
+    work.cache.publish(registry, scene=scene.name)
 
     cache_model = make_cache_model(config.cache, config.cache_config)
     return MachineResult(

@@ -33,6 +33,9 @@ def drain_node(
     setup_cycles: int,
     bus_ratio: float,
     arrivals: np.ndarray = None,
+    recorder=None,
+    node_id: int = 0,
+    bus: BusModel = None,
 ) -> NodeTimingResult:
     """Time a node that always has its next triangle available.
 
@@ -44,8 +47,15 @@ def drain_node(
     ``arrivals`` (optional, monotone) holds each triangle's earliest
     start time — with a finite-rate geometry stage and unbounded FIFOs
     that is exactly its geometry release time.
+
+    ``recorder`` (optional event recorder) receives per-triangle
+    busy/stall spans on the ``("sim", "node-<node_id>")`` track; the
+    timing itself is identical with or without it.  ``bus`` lets the
+    caller keep the :class:`BusModel` for its transfer accounting.
     """
-    bus = BusModel(bus_ratio)
+    if bus is None:
+        bus = BusModel(bus_ratio)
+    track = ("sim", f"node-{node_id}")
     time = 0.0
     busy = 0.0
     stall = 0.0
@@ -57,8 +67,12 @@ def drain_node(
             time = arrival_list[index]
         data_done = bus.request(time, int(demanded))
         end = time + compute
+        if recorder is not None:
+            recorder.span(track, "busy", time, end, args={"texels": int(demanded)})
         if data_done > end:
             stall += data_done - end
+            if recorder is not None:
+                recorder.span(track, "stall", end, data_done)
             end = data_done
         busy += compute
         time = end

@@ -1,0 +1,271 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the always-on half of the observability layer (the
+event recorder in :mod:`repro.obs.recorder` is the opt-in half).  Every
+instrument is named, optionally carries labeled children (``metric
+.labels(node="3")``), and serialises into a plain-dict snapshot that
+the service's ``/metrics`` endpoint and the CLI's ``--metrics-out``
+flag emit as JSON.
+
+Design constraints, in order:
+
+1. cheap — one lock acquisition per update, no allocation on the hot
+   path once an instrument exists;
+2. deterministic — snapshots sort names and labels so dumps diff
+   cleanly (the golden-value CI job relies on this);
+3. stdlib only.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Duration buckets (seconds) used by span timers by default.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Occupancy/size buckets used for FIFO depth style histograms.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _qualified(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class _Metric:
+    """Shared machinery: a named instrument with labeled children.
+
+    The parent object doubles as the unlabeled instrument; ``labels``
+    returns (creating on first use) a child keyed by the sorted label
+    items.  Children are full instruments of the same kind.
+    """
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._children: Dict[LabelKey, "_Metric"] = {}
+        self._touched = False
+
+    def labels(self, **labels) -> "_Metric":
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._spawn()
+                self._children[key] = child
+            return child
+
+    def _spawn(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    def _collect(self, out: Dict[str, object]) -> None:
+        with self._lock:
+            if self._touched:
+                out[self.name] = self._value_snapshot()
+            children = sorted(self._children.items())
+        for key, child in children:
+            with child._lock:
+                if child._touched:
+                    out[_qualified(self.name, key)] = child._value_snapshot()
+
+    def _value_snapshot(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self.value += amount
+            self._touched = True
+
+    def _value_snapshot(self):
+        return self.value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, pool size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            self._touched = True
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+            self._touched = True
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def _value_snapshot(self):
+        return self.value
+
+
+class Histogram(_Metric):
+    """Bucketed observations with count/sum/min/max.
+
+    ``edges`` are upper bounds with ``value <= edge`` semantics (the
+    Prometheus ``le`` convention); one overflow bucket catches the
+    rest.  Snapshots render cumulative bucket counts keyed by edge.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        edges: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not edges or list(edges) != sorted(edges):
+            raise ConfigurationError(
+                f"histogram {name!r} needs sorted, non-empty bucket edges"
+            )
+        self.edges: Tuple[float, ...] = tuple(float(edge) for edge in edges)
+        self._counts = [0] * (len(self.edges) + 1)  # +1 = overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _spawn(self) -> "Histogram":
+        return Histogram(self.name, self.help, self.edges)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._touched = True
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative ``le``-keyed bucket counts (plus ``+Inf``)."""
+        with self._lock:
+            return self._cumulative()
+
+    def _cumulative(self) -> Dict[str, int]:
+        # Caller holds self._lock.
+        out: Dict[str, int] = {}
+        running = 0
+        for edge, count in zip(self.edges, self._counts):
+            running += count
+            out[f"{edge:g}"] = running
+        out["+Inf"] = running + self._counts[-1]
+        return out
+
+    def _value_snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": self._cumulative(),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON-friendly snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _instrument(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._instrument(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._instrument(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        edges: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._instrument(Histogram, name, help, edges=edges)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The registered metric named ``name`` (None when absent)."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All touched instruments, grouped by kind, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for _name, metric in metrics:
+            metric._collect(out[metric.kind + "s"])
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (the object itself stays shared)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry every subsystem publishes into.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _DEFAULT

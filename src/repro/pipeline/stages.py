@@ -18,26 +18,33 @@ import time
 from contextlib import contextmanager
 from typing import Optional
 
+from repro.obs.spans import span
 from repro.pipeline import keys
 from repro.pipeline.store import store
 
 
 def _timed(stage: str, compute):
     """Run an uncacheable stage computation, attributing its wall time."""
-    started = time.perf_counter()
-    value = compute()
-    store().record_compute(stage, time.perf_counter() - started)
-    return value
+    with stage_timer(stage):
+        return compute()
 
 
 @contextmanager
 def stage_timer(stage: str):
-    """Attribute a ``with`` block's wall time to ``stage`` (e.g. timing)."""
+    """Attribute a ``with`` block's wall time to ``stage`` (e.g. timing).
+
+    The block runs under an obs span named ``stage.<stage>`` — so it
+    lands in the ``span.stage.<stage>`` registry histogram and, when
+    tracing is enabled, on the host track of the Chrome trace — and its
+    duration still feeds the ``--timings`` table via the artifact
+    store's per-stage counters.
+    """
     started = time.perf_counter()
-    try:
-        yield
-    finally:
-        store().record_compute(stage, time.perf_counter() - started)
+    with span(f"stage.{stage}"):
+        try:
+            yield
+        finally:
+            store().record_compute(stage, time.perf_counter() - started)
 
 
 def scene_artifact(name: str, scale: float):

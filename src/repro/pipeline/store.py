@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import span
 from repro.pipeline.keys import fingerprint
 from repro.pipeline.stats import PipelineStats, StageStats
 
@@ -92,7 +93,8 @@ class ArtifactStore:
                 return value
 
         started = time.perf_counter()
-        value = compute()
+        with span(f"stage.{stage}", key=key):
+            value = compute()
         elapsed = time.perf_counter() - started
         with self._lock:
             self._stats.stage(stage).misses += 1

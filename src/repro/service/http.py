@@ -11,7 +11,10 @@ Endpoints (all JSON):
   (URL-quote the key; it contains ``/`` and ``#``).
 * ``GET /healthz`` — liveness: status, workers, dispatcher threads.
 * ``GET /metrics`` — queue depth, jobs by state, retry/timeout/requeue
-  counters, result-store hit rate, per-stage pipeline stats.
+  counters, result-store hit rate, per-stage pipeline stats, and the
+  ``obs`` metrics-registry snapshot (``service.*`` mirrors plus any
+  simulator-level ``cache.*``/``bus.*`` counters and ``span.*``
+  histograms recorded in this process).
 
 The server is a ``ThreadingHTTPServer`` so slow pollers never block
 submissions; all actual work happens in the scheduler's dispatchers.

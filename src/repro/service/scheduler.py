@@ -36,9 +36,10 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro import pipeline
+from repro import obs, pipeline
 from repro.analysis.parallel import share_artifacts
 from repro.errors import ServiceError
+from repro.obs.spans import span
 from repro.service.jobs import (
     DONE,
     FAILED,
@@ -115,6 +116,7 @@ class Scheduler:
         results: Optional[ResultStore] = None,
         executor: Optional[Callable[[Dict], Dict]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        registry: Optional[obs.MetricsRegistry] = None,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -148,6 +150,15 @@ class Scheduler:
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._started_at = time.time()
+        #: Metrics registry mirror: every lifecycle counter also lands
+        #: here as ``service.<name>``, next to the simulator-level
+        #: series (cache.*, bus.*, span.*) the workers publish, so one
+        #: ``/metrics`` read shows queue and simulation health together.
+        self.registry = registry if registry is not None else obs.registry()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+        self.registry.counter(f"service.{name}").inc(amount)
 
     # -- lifecycle ---------------------------------------------------
 
@@ -188,10 +199,10 @@ class Scheduler:
         spec, options = parse_submission(payload)
         key = spec.result_key()
         with self._lock:
-            self._counters["submitted"] += 1
+            self._count("submitted")
             live = self._live_by_key.get(key)
             if live is not None and live.state not in TERMINAL_STATES:
-                self._counters["deduped"] += 1
+                self._count("deduped")
                 return live, True
         found, _cached = self.results.get(key)
         with self._lock:
@@ -199,7 +210,7 @@ class Scheduler:
             # while the (possibly disk-touching) store lookup ran.
             live = self._live_by_key.get(key)
             if live is not None and live.state not in TERMINAL_STATES:
-                self._counters["deduped"] += 1
+                self._count("deduped")
                 return live, True
             job = Job(
                 id=f"job-{next(self._ids)}",
@@ -210,7 +221,7 @@ class Scheduler:
             )
             self._jobs[job.id] = job
             if found:
-                self._counters["cache_hits"] += 1
+                self._count("cache_hits")
                 job.cached = True
                 job.finish(DONE)
                 return job, False
@@ -251,7 +262,7 @@ class Scheduler:
                 self._run_job(job)
             except Exception as exc:  # defensive: never kill a dispatcher
                 with self._lock:
-                    self._counters["failed"] += 1
+                    self._count("failed")
                     self._finish(job, FAILED, f"scheduler error: {exc}")
 
     def _run_job(self, job: Job) -> None:
@@ -279,13 +290,13 @@ class Scheduler:
                 return
             except FutureTimeoutError:
                 with self._lock:
-                    self._counters["timeouts"] += 1
+                    self._count("timeouts")
                 if self._pool is not None:
                     # The worker is still grinding on the dead attempt;
                     # restarting the pool is the only way to reclaim it.
                     self._pool.restart()
                     with self._lock:
-                        self._counters["pool_restarts"] += 1
+                        self._count("pool_restarts")
                 if not self._backoff_or_finish(job, TIMED_OUT, "attempt timed out"):
                     return
             except Exception as exc:
@@ -294,26 +305,30 @@ class Scheduler:
             else:
                 self.results.put(job.result_key, payload)
                 with self._lock:
-                    self._counters["completed"] += 1
+                    self._count("completed")
                     self._finish(job, DONE)
                 return
 
     def _execute(self, job: Job) -> Dict:
         payload = job.spec.to_payload()
-        if self._pool is None:
-            return self._executor(payload)
-        future = self._pool.submit(self._executor, payload)
-        return future.result(timeout=job.timeout)
+        # The span times the whole attempt (dispatcher-side, so it
+        # covers pool scheduling + the worker's run) and lands in the
+        # ``span.service.execute`` histogram of /metrics.
+        with span("service.execute", kind=job.spec.kind, job=job.id):
+            if self._pool is None:
+                return self._executor(payload)
+            future = self._pool.submit(self._executor, payload)
+            return future.result(timeout=job.timeout)
 
     def _backoff_or_finish(self, job: Job, state: str, error: str) -> bool:
         """Retry with backoff if budget remains; else finish. True = retry."""
         with self._lock:
             if job.attempts > job.retries:
                 if state == FAILED:
-                    self._counters["failed"] += 1
+                    self._count("failed")
                 self._finish(job, state, error)
                 return False
-            self._counters["retries"] += 1
+            self._count("retries")
             job.error = error  # visible while the retry is pending
         delay = min(
             self.backoff_base * self.backoff_factor ** (job.attempts - 1),
@@ -326,16 +341,16 @@ class Scheduler:
         """Recover from a dead worker pool; False = job finished failed."""
         self._pool.restart()
         with self._lock:
-            self._counters["pool_restarts"] += 1
+            self._count("pool_restarts")
             job.requeues += 1
             job.attempts -= 1  # the crashed attempt never really ran
             if job.requeues > self.max_requeues:
-                self._counters["failed"] += 1
+                self._count("failed")
                 self._finish(
                     job, FAILED, "worker pool crashed repeatedly while running this job"
                 )
                 return False
-            self._counters["requeues"] += 1
+            self._count("requeues")
             job.state = QUEUED
         self.queue.push(job, front=True)
         return True
@@ -349,12 +364,17 @@ class Scheduler:
     # -- introspection -----------------------------------------------
 
     def metrics(self) -> Dict:
-        """The `/metrics` document: queue, states, counters, stores."""
+        """The `/metrics` document: queue, states, counters, stores,
+        plus the obs registry (service.* mirrors, simulator-level
+        cache/bus counters and span histograms)."""
         with self._lock:
             by_state = {state: 0 for state in STATES}
             for job in self._jobs.values():
                 by_state[job.state] += 1
             counters = dict(self._counters)
+        self.registry.gauge("service.queue_depth").set(len(self.queue))
+        for state, count in by_state.items():
+            self.registry.gauge("service.jobs").labels(state=state).set(count)
         return {
             "uptime_seconds": time.time() - self._started_at,
             "workers": self.workers,
@@ -363,6 +383,7 @@ class Scheduler:
             "counters": counters,
             "result_store": self.results.snapshot(),
             "pipeline": pipeline.stats(),
+            "obs": self.registry.snapshot(),
         }
 
     def healthz(self) -> Dict:

@@ -24,12 +24,22 @@ class BoundedFifo:
     sort-middle machine must retain.
     """
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = "fifo") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int,
+        name: str = "fifo",
+        recorder=None,
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"fifo capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: Optional event recorder; when set, every occupancy change is
+        #: sampled onto the ``("sim", name)`` counter track (the FIFO
+        #: occupancy histograms in trace summaries come from this).
+        self.recorder = recorder
         self._items: Deque[Any] = deque()
         self._putters: Deque[Tuple[Event, Any]] = deque()
         self._getters: Deque[Event] = deque()
@@ -63,15 +73,24 @@ class BoundedFifo:
         if self._items:
             item = self._items.popleft()
             self._admit_blocked_putter()
+            if self.recorder is not None:
+                self._sample()
             return Event(self.sim).succeed(item)
         done = Event(self.sim)
         self._getters.append(done)
         return done
 
+    def _sample(self) -> None:
+        self.recorder.value(
+            ("sim", self.name), "occupancy", self.sim.now, len(self._items)
+        )
+
     def _store(self, item: Any) -> None:
         self._items.append(item)
         if len(self._items) > self.high_water:
             self.high_water = len(self._items)
+        if self.recorder is not None:
+            self._sample()
 
     def _admit_blocked_putter(self) -> None:
         if self._putters and not self.full:

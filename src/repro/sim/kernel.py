@@ -91,7 +91,7 @@ class Process(Event):
     can wait on one another by yielding the :class:`Process` object.
     """
 
-    __slots__ = ("name", "_generator")
+    __slots__ = ("name", "_generator", "_born")
 
     def __init__(
         self,
@@ -102,6 +102,7 @@ class Process(Event):
         super().__init__(sim)
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
+        self._born = sim.now
         # Start the process at the current time via an immediate event.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
@@ -118,6 +119,11 @@ class Process(Event):
                 target = self._generator.send(value)
             except StopIteration as stop:
                 self.succeed(stop.value)
+                recorder = self.sim.recorder
+                if recorder is not None:
+                    recorder.span(
+                        ("sim", self.name), "process", self._born, self.sim.now
+                    )
                 return
             if not isinstance(target, Event):
                 raise SimulationError(
@@ -136,10 +142,18 @@ class Process(Event):
 
 
 class Simulator:
-    """Owns the simulation clock and the pending-event queue."""
+    """Owns the simulation clock and the pending-event queue.
 
-    def __init__(self) -> None:
+    ``recorder`` (optional, a :class:`repro.obs.recorder.EventRecorder`)
+    makes the kernel emit a lifetime span per completed process; pieces
+    built on the kernel (FIFOs, node processes) record richer events
+    through the same object.  ``None`` — the default — records nothing
+    and keeps the kernel's behaviour and cost unchanged.
+    """
+
+    def __init__(self, recorder=None) -> None:
         self.now: float = 0
+        self.recorder = recorder
         self._queue: List[Tuple[float, int, Event, Any]] = []
         self._sequence = 0
 

@@ -11,6 +11,15 @@ from repro.geometry.vertex import Vertex
 from repro.texture.texture import MipmappedTexture
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate tests from each other's metrics and tracing state."""
+    yield
+    from repro import obs
+
+    obs.reset()
+
+
 def quad(x0: float, y0: float, size: float, texture: int = 0, u0: float = 0.0,
          v0: float = 0.0, texel_scale: float = 1.0) -> list:
     """Two triangles forming an axis-aligned square, shared diagonal."""

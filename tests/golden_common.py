@@ -1,0 +1,122 @@
+"""Shared helpers for the golden-value regression suite.
+
+Both ``tests/test_golden.py`` and ``scripts/golden_check.py`` (the CI
+job) import from here so the definition of a "golden point" — which
+scenes, which machines, which metrics, and how they are computed —
+lives in exactly one place.
+
+A golden point is one (scene, distribution family, size, processors)
+tuple simulated at a tiny deterministic scale.  Its metrics are stored
+as JSON in ``tests/golden/<name>.json`` and compared with *exact*
+equality: every quantity in the simulator is deterministic, and JSON
+round-trips Python floats bit-exactly (``repr`` based), so any drift
+is a real behaviour change, not noise.
+
+Regenerate after an intentional change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
+from repro.core.machine import simulate_machine, single_processor_baseline
+from repro.workloads.scenes import build_scene
+
+#: Directory of committed golden JSON files.
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Environment variable that switches the suite into regeneration mode.
+UPDATE_ENV_VAR = "REPRO_UPDATE_GOLDEN"
+
+#: Linear scene scale the golden points run at (tiny but non-trivial).
+GOLDEN_SCALE = 0.0625
+
+#: (scene, family, size, processors) for every committed point.
+GOLDEN_POINTS: Tuple[Tuple[str, str, int, int], ...] = tuple(
+    (scene, family, size, processors)
+    for scene in ("truc640", "blowout775", "quake")
+    for family, size in (("block", 16), ("sli", 2))
+    for processors in (1, 4)
+)
+
+
+def point_name(scene: str, family: str, size: int, processors: int) -> str:
+    return f"{scene}_{family}{size}_p{processors}"
+
+
+def golden_path(scene: str, family: str, size: int, processors: int) -> Path:
+    return GOLDEN_DIR / f"{point_name(scene, family, size, processors)}.json"
+
+
+def compute_point(scene: str, family: str, size: int, processors: int) -> Dict:
+    """Simulate one golden point and distill its comparison metrics.
+
+    Uses the same spec plumbing as the batch runner so the goldens pin
+    the full path from spec dict to result, not just the timing model.
+    """
+    spec = {"family": family, "size": size, "processors": processors}
+    built = build_scene(scene, scale=GOLDEN_SCALE)
+    distribution = distribution_from_spec(spec, built.height)
+    config = machine_config_from_spec(spec, distribution)
+    baseline = single_processor_baseline(built, config)
+    result = simulate_machine(built, config, baseline_cycles=baseline)
+    return {
+        "scene": scene,
+        "family": family,
+        "size": size,
+        "processors": processors,
+        "scale": GOLDEN_SCALE,
+        "metrics": {
+            "cycles": result.cycles,
+            "baseline_cycles": baseline,
+            "speedup": result.speedup,
+            "texel_to_fragment": result.texel_to_fragment,
+            "miss_rate": result.cache.miss_rate,
+        },
+    }
+
+
+def write_golden(path: Path, document: Dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_golden(path: Path) -> Dict:
+    return json.loads(path.read_text())
+
+
+def update_requested() -> bool:
+    return os.environ.get(UPDATE_ENV_VAR, "") not in ("", "0")
+
+
+def iter_golden_files() -> Iterator[Path]:
+    yield from sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def check_all() -> List[str]:
+    """Recompute every golden point; return human-readable mismatches.
+
+    Used by ``scripts/golden_check.py`` so CI fails with a list of
+    drifted quantities rather than a bare assertion.
+    """
+    problems: List[str] = []
+    for scene, family, size, processors in GOLDEN_POINTS:
+        path = golden_path(scene, family, size, processors)
+        if not path.exists():
+            problems.append(f"missing golden file {path.name}")
+            continue
+        expected = load_golden(path)
+        got = compute_point(scene, family, size, processors)
+        for key, want in expected["metrics"].items():
+            have = got["metrics"].get(key)
+            if have != want:
+                problems.append(
+                    f"{path.name}: {key} = {have!r}, golden says {want!r}"
+                )
+    return problems

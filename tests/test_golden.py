@@ -1,0 +1,79 @@
+"""Golden-value regression tests for end-to-end simulation metrics.
+
+Each test recomputes one tiny scene/machine point and compares its
+summary metrics (cycles, speedup, texel-to-fragment ratio, miss rate)
+against the committed JSON under ``tests/golden/`` with exact
+equality.  The simulator is deterministic, so any difference is a
+behaviour change that must be either fixed or consciously re-baselined
+with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_common import (
+    GOLDEN_POINTS,
+    compute_point,
+    golden_path,
+    load_golden,
+    point_name,
+    update_requested,
+    write_golden,
+)
+
+
+@pytest.mark.parametrize(
+    "scene,family,size,processors",
+    GOLDEN_POINTS,
+    ids=[point_name(*point) for point in GOLDEN_POINTS],
+)
+def test_golden_point(scene, family, size, processors):
+    path = golden_path(scene, family, size, processors)
+    got = compute_point(scene, family, size, processors)
+
+    if update_requested():
+        write_golden(path, got)
+        return
+
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path.name} is missing; regenerate with "
+            "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py"
+        )
+
+    expected = load_golden(path)
+    assert got["metrics"] == expected["metrics"], (
+        f"{path.name} drifted; if intentional, re-baseline with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_golden_files_match_point_list():
+    """Every committed golden file corresponds to a live point (no orphans)."""
+    if update_requested():
+        pytest.skip("regeneration run")
+    expected_names = {point_name(*point) + ".json" for point in GOLDEN_POINTS}
+    from tests.golden_common import iter_golden_files
+
+    on_disk = {path.name for path in iter_golden_files()}
+    assert on_disk == expected_names
+
+
+def test_speedup_metrics_are_consistent():
+    """Sanity-check the golden documents' internal arithmetic."""
+    if update_requested():
+        pytest.skip("regeneration run")
+    from tests.golden_common import iter_golden_files
+
+    for path in iter_golden_files():
+        doc = load_golden(path)
+        metrics = doc["metrics"]
+        assert metrics["cycles"] > 0
+        assert metrics["speedup"] == metrics["baseline_cycles"] / metrics["cycles"]
+        assert 0.0 <= metrics["miss_rate"] <= 1.0
+        assert metrics["texel_to_fragment"] >= 0.0
+        if doc["processors"] == 1:
+            assert metrics["speedup"] == pytest.approx(1.0)

@@ -352,6 +352,15 @@ class TestHTTP:
             assert counter in metrics["counters"]
         assert set(metrics["result_store"]) == {"hits", "misses", "hit_rate"}
         assert "pipeline" in metrics
+        # The obs registry snapshot mirrors the service counters and
+        # carries the execute-span histogram for the one job that ran.
+        snapshot = metrics["obs"]
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["service.submitted"] == 1
+        assert snapshot["counters"]["service.completed"] == 1
+        assert snapshot["gauges"]["service.queue_depth"] == 0
+        assert snapshot["gauges"]["service.jobs{state=done}"] == 1
+        assert snapshot["histograms"]["span.service.execute"]["count"] == 1
 
     def test_error_responses(self, http_service):
         client, _scheduler, _experiment = http_service
