@@ -1,0 +1,19 @@
+"""Shared typing aliases.
+
+Kept tiny and dependency-light so any package can import it without
+cycles.  ``Array`` deliberately erases dtype precision: the simulators
+mix int64 index arrays, boolean masks and float cycle arrays, and the
+interesting invariants (cycle integrality, determinism) are enforced by
+``repro-lint``, not by the dtype parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from numpy.typing import NDArray
+
+#: A numpy array of any dtype (see module docstring).
+Array = NDArray[Any]
+
+__all__ = ["Array"]

@@ -10,8 +10,12 @@ floor an ideal cache would achieve.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -42,7 +46,7 @@ class CacheRunResult:
             return 0.0
         return self.texels_fetched / self.fragments
 
-    def publish(self, registry, **labels) -> None:
+    def publish(self, registry: "MetricsRegistry", **labels: object) -> None:
         """Add this replay's totals into a metrics registry.
 
         ``registry`` is a :class:`repro.obs.MetricsRegistry`; the
@@ -58,8 +62,8 @@ class CacheRunResult:
             "compulsory_misses": self.compulsory_misses,
             "texels_fetched": self.texels_fetched,
         }
-        for field, amount in totals.items():
-            counter = registry.counter(f"cache.{field}")
+        for series, amount in totals.items():
+            counter = registry.counter(f"cache.{series}")
             if labels:
                 counter = counter.labels(**labels)
             counter.inc(amount)

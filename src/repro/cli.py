@@ -37,6 +37,7 @@ _COMMANDS = {
     "dump-trace": "write a scene's triangle trace to --path",
     "replay-trace": "simulate a trace file (--path, --processors, --width)",
     "batch": "run a JSON campaign file (--path, optionally --out)",
+    "lint": "run the repro-lint static analyzer (same flags as repro-lint)",
     "serve": "start the experiment job service (--host, --port, --workers)",
     "submit": "submit a job to a running service (--url, --run/--scene/--job)",
     "status": "show a job (--id) or service metrics from --url",
@@ -423,7 +424,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "lint":
+        # Delegate before argparse: lint has its own flag vocabulary.
+        from repro.lintkit.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     if args.workers is not None:
         _apply_workers(args.workers)
     if args.trace_out is not None:

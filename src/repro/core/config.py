@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.cache.config import CacheConfig
 from repro.distribution.base import Distribution
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.cache.models import TextureCacheModel
 
 #: The paper's "big enough" triangle buffer (Section 3.1).
 DEFAULT_FIFO_CAPACITY = 10000
@@ -47,7 +50,7 @@ class MachineConfig:
     """
 
     distribution: Distribution
-    cache: Union[str, object] = "lru"
+    cache: Union[str, "TextureCacheModel"] = "lru"
     cache_config: Optional[CacheConfig] = None
     bus_ratio: float = 1.0
     fifo_capacity: int = DEFAULT_FIFO_CAPACITY

@@ -13,14 +13,17 @@ carries a release time the distributor must wait for.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bus.bus import BusModel
 from repro.core.node import triangle_service_time
 from repro.sim.fifo import BoundedFifo
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import ProcessGenerator, Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RecorderLike
 
 #: FIFO sentinel: end of the triangle stream.
 _END = None
@@ -34,8 +37,8 @@ def _distributor_process(
     fifos: List[BoundedFifo],
     stream: Sequence[StreamEntry],
     release: Optional[np.ndarray],
-    stats: dict,
-):
+    stats: Dict[str, Any],
+) -> ProcessGenerator:
     """Generator feeding work items in strict submission order.
 
     ``stats`` collects the head-of-line accounting: cycles the
@@ -71,7 +74,7 @@ def _node_process(
     bus: BusModel,
     finish_out: List[float],
     node_id: int,
-):
+) -> ProcessGenerator:
     """Generator draining one node's FIFO until the end sentinel."""
     recorder = sim.recorder
     track = ("sim", f"node-{node_id}")
@@ -122,8 +125,8 @@ def run_event_machine(
     setup_cycles: int,
     bus_ratio: float,
     release: Optional[np.ndarray] = None,
-    stats: Optional[dict] = None,
-    recorder=None,
+    stats: Optional[Dict[str, Any]] = None,
+    recorder: Optional["RecorderLike"] = None,
 ) -> Tuple[float, List[float]]:
     """Simulate the machine with finite FIFOs; returns (cycles, per-node finish).
 

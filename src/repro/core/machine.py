@@ -19,7 +19,7 @@ prefixes once.  The timing model itself is instrumented under the
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def simulate_machine(
     )
     n = work.num_processors
 
-    release = None
+    release: Optional[np.ndarray] = None
     if config.geometry_engines > 0:
         release = geometry_release_times(
             scene.num_triangles, config.geometry_engines, config.geometry_cycles
@@ -94,8 +94,8 @@ def simulate_machine(
     else:
         use_fast = timing_mode == "fast"
 
-    extras: dict = {}
-    bus_totals = {"transfers": 0, "texels": 0, "busy_cycles": 0.0}
+    extras: Dict[str, Any] = {}
+    bus_totals: Dict[str, float] = {"transfers": 0, "texels": 0, "busy_cycles": 0.0}
     with stage_timer("timing"):
         if use_fast:
             finish = np.zeros(n)
@@ -117,12 +117,12 @@ def simulate_machine(
                 finish[node] = timing.finish
                 busy[node] = timing.busy_cycles
                 stall[node] = timing.stall_cycles
-                for field, amount in bus.totals().items():
-                    bus_totals[field] += amount
+                for series, amount in bus.totals().items():
+                    bus_totals[series] += amount
             cycles = float(finish.max()) if n else 0.0
         else:
             stream = interleave_stream(work.triangles, work.pixels, work.texels)
-            event_stats: dict = {}
+            event_stats: Dict[str, Any] = {}
             cycles, node_finish = run_event_machine(
                 stream,
                 n,

@@ -12,10 +12,14 @@ triangle cannot retire before the bus has delivered its texels.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.bus.bus import BusModel
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RecorderLike
 
 
 @dataclass
@@ -32,10 +36,10 @@ def drain_node(
     texels: np.ndarray,
     setup_cycles: int,
     bus_ratio: float,
-    arrivals: np.ndarray = None,
-    recorder=None,
+    arrivals: Optional[np.ndarray] = None,
+    recorder: Optional["RecorderLike"] = None,
     node_id: int = 0,
-    bus: BusModel = None,
+    bus: Optional[BusModel] = None,
 ) -> NodeTimingResult:
     """Time a node that always has its next triangle available.
 

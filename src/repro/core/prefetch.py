@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Deque, Dict, Iterable
 
 import numpy as np
 
@@ -71,11 +72,12 @@ def simulate_prefetch_pipeline(
         raise ConfigurationError(f"bus ratio must be positive, got {bus_ratio}")
 
     misses = np.asarray(misses_per_fragment, dtype=np.int64)
-    cycles = _pipeline_cycles(misses, fifo_depth, memory_latency, texels_per_miss / bus_ratio)
+    transfer = texels_per_miss / bus_ratio
+    cycles = _pipeline_cycles(misses, fifo_depth, memory_latency, transfer)
     # The zero-latency reference is the same pipeline with instant
     # memory and an unbounded FIFO — the model the machine simulator
     # uses (bandwidth-only).
-    zero_latency = _pipeline_cycles(misses, len(misses) + 1, 0.0, texels_per_miss / bus_ratio)
+    zero_latency = _pipeline_cycles(misses, len(misses) + 1, 0.0, transfer)
     return PrefetchResult(
         cycles=cycles, zero_latency_cycles=zero_latency, fragments=len(misses)
     )
@@ -92,7 +94,7 @@ def _pipeline_cycles(
     # address generator and the filter.  Its data is ready one latency
     # after its bandwidth-serialised transfer; fragments retire in
     # order at one per cycle once their data is there.
-    retires: deque = deque()
+    retires: Deque[float] = deque()
     issue = -1.0
     bus_free = 0.0
     last_retire = -1.0
@@ -114,10 +116,10 @@ def _pipeline_cycles(
 
 def latency_hiding_curve(
     misses_per_fragment: np.ndarray,
-    fifo_depths,
+    fifo_depths: Iterable[int],
     memory_latency: float,
     bus_ratio: float,
-) -> dict:
+) -> Dict[int, float]:
     """Slowdown vs FIFO depth — the Igehy validation sweep."""
     return {
         depth: simulate_prefetch_pipeline(

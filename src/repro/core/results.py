@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class MachineResult:
     node_work: np.ndarray
     cache: CacheRunResult
     baseline_cycles: Optional[float] = None
-    extras: dict = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def speedup(self) -> Optional[float]:

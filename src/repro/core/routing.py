@@ -19,17 +19,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
-from repro.cache.models import PerfectCache, make_cache_model
+from repro.cache.models import PerfectCache, TextureCacheModel, make_cache_model
 from repro.cache.stats import CacheRunResult
-from repro.cache.stream import replay_fragments
+from repro.cache.stream import DEFAULT_CHUNK, replay_fragments
 from repro.distribution.base import Distribution
 from repro.errors import ConfigurationError
 from repro.geometry.scene import Scene
 from repro.texture.filtering import TEXELS_PER_FRAGMENT, TrilinearFilter
+
+if TYPE_CHECKING:
+    from repro.cache.config import CacheConfig
+    from repro.raster.fragments import FragmentBuffer
+    from repro.texture.layout import TextureMemoryLayout
+
+#: Cache model spec accepted everywhere a machine is configured.
+CacheSpec = Union[str, TextureCacheModel, None]
 
 
 @dataclass
@@ -134,7 +142,7 @@ def route_by_coverage(
 def compute_routing_plan(
     scene: Scene,
     distribution: Distribution,
-    fragments,
+    fragments: "FragmentBuffer",
     route_by: str = "bbox",
 ) -> RoutingPlan:
     """Route a fragment stream: the cache-independent half of the work."""
@@ -165,10 +173,10 @@ def compute_routing_plan(
 def compute_replay(
     scene: Scene,
     distribution: Distribution,
-    fragments,
-    cache_spec="lru",
-    cache_config=None,
-    layout=None,
+    fragments: "FragmentBuffer",
+    cache_spec: CacheSpec = "lru",
+    cache_config: Optional["CacheConfig"] = None,
+    layout: Optional["TextureMemoryLayout"] = None,
     chunk_size: Optional[int] = None,
 ) -> ReplayResult:
     """Replay every node's fragment stream through its private cache."""
@@ -203,8 +211,13 @@ def compute_replay(
                 # texel format packs into 64 bytes.
                 model.texels_per_fetch = layout.texels_per_line
             seen = np.zeros(layout.total_lines, dtype=bool)
-            kwargs = {"chunk_size": chunk_size} if chunk_size else {}
-            run = replay_fragments(node_fragments, tex_filter, model, seen_lines=seen, **kwargs)
+            run = replay_fragments(
+                node_fragments,
+                tex_filter,
+                model,
+                seen_lines=seen,
+                chunk_size=chunk_size or DEFAULT_CHUNK,
+            )
             total_cache = total_cache.merged_with(run)
             texels_per_node_tri.append(run.texels_by_triangle)
 
@@ -266,13 +279,13 @@ def assemble_routed_work(
 def build_routed_work(
     scene: Scene,
     distribution: Distribution,
-    cache_spec="lru",
-    cache_config=None,
+    cache_spec: CacheSpec = "lru",
+    cache_config: Optional["CacheConfig"] = None,
     setup_cycles: int = 25,
     chunk_size: Optional[int] = None,
-    layout=None,
+    layout: Optional["TextureMemoryLayout"] = None,
     route_by: str = "bbox",
-    fragments=None,
+    fragments: Optional["FragmentBuffer"] = None,
 ) -> RoutedWork:
     """Route a scene and replay every node's stream through its cache.
 

@@ -17,9 +17,11 @@ paper likewise idealises its distribution network).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional, Union
+
 import numpy as np
 
-from repro.cache.models import make_cache_model
+from repro.cache.models import TextureCacheModel, make_cache_model
 from repro.cache.stats import CacheRunResult
 from repro.cache.stream import replay_fragments
 from repro.core.config import DEFAULT_SETUP_CYCLES
@@ -28,6 +30,9 @@ from repro.core.results import MachineResult, NodeTimings
 from repro.errors import ConfigurationError
 from repro.geometry.scene import Scene
 from repro.texture.filtering import TrilinearFilter
+
+if TYPE_CHECKING:
+    from repro.cache.config import CacheConfig
 
 
 def sort_last_assignment(
@@ -53,11 +58,11 @@ def simulate_sort_last(
     scene: Scene,
     num_processors: int,
     chunk_size: int = 1,
-    cache="lru",
-    cache_config=None,
+    cache: Union[str, TextureCacheModel] = "lru",
+    cache_config: Optional["CacheConfig"] = None,
     bus_ratio: float = 1.0,
     setup_cycles: int = DEFAULT_SETUP_CYCLES,
-    baseline_cycles=None,
+    baseline_cycles: Optional[float] = None,
 ) -> MachineResult:
     """Simulate one frame on the sort-last machine.
 

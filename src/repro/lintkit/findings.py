@@ -1,0 +1,45 @@
+"""Finding records produced by the static-analysis rules.
+
+A finding is one rule violation at one source location.  The
+``snippet`` — the stripped source line the finding sits on — doubles as
+the finding's stable identity for baseline matching: line numbers
+drift every edit, but a suppression should only survive while the
+flagged code itself is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Longest snippet stored/matched; keeps baseline lines readable.
+SNIPPET_WIDTH = 160
+
+
+def normalize_snippet(line: str) -> str:
+    """Canonical form of a source line for baseline identity."""
+    return " ".join(line.split())[:SNIPPET_WIDTH]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline suppression (line-number free)."""
+        return (self.rule, self.path.replace("\\", "/"), self.snippet)
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

@@ -1,0 +1,86 @@
+"""Pluggable rule registry.
+
+A rule is a class with an ``id`` (``REPROnnn``), a one-line ``title``,
+an optional tuple of module ``scopes`` it applies to, and a
+``check(ctx)`` generator yielding :class:`Finding` objects.  Rules
+self-register at import time via the :func:`register` decorator; the
+engine asks :func:`all_rules` for the active set, so adding a rule is
+one new module in :mod:`repro.lintkit.rules` — no engine changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.lintkit.context import ModuleContext
+from repro.lintkit.findings import Finding, normalize_snippet
+
+
+class Rule:
+    """Base class every lint rule derives from."""
+
+    #: Stable identifier (``REPROnnn``); baseline entries key on it.
+    id: str = ""
+    #: One-line summary shown by ``repro-lint --list-rules``.
+    title: str = ""
+    #: Module prefixes the rule applies to; ``None`` means every module.
+    scopes: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: str) -> bool:
+        if self.scopes is None:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".") for scope in self.scopes
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=normalize_snippet(ctx.line(line)),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.id:
+        raise ConfigurationError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (imports the built-ins)."""
+    import repro.lintkit.rules  # noqa: F401  (registers the built-in rules)
+
+    return [rule for _id, rule in sorted(_REGISTRY.items())]
+
+
+def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The active rule set, optionally narrowed to ``select`` ids."""
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = set(select)
+    unknown = wanted - {rule.id for rule in rules}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return [rule for rule in rules if rule.id in wanted]

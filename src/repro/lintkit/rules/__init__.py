@@ -1,0 +1,5 @@
+"""Built-in rule modules; importing this package registers them all."""
+
+from repro.lintkit.rules import concurrency, cycles, determinism, obs
+
+__all__ = ["concurrency", "cycles", "determinism", "obs"]

@@ -1,0 +1,191 @@
+"""Determinism rules (REPRO1xx).
+
+The golden-value tests pin exact cycle counts; the simulation core
+must therefore be a pure function of its inputs.  These rules forbid
+the classic nondeterminism sources inside the hot packages: wall-clock
+reads, global PRNG state, and iteration whose order depends on a
+``set``'s hash layout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lintkit.context import ModuleContext
+from repro.lintkit.findings import Finding
+from repro.lintkit.registry import Rule, register
+
+#: Packages whose results must be bit-exact across runs.
+DETERMINISTIC_SCOPES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.cache",
+    "repro.raster",
+)
+
+#: Wall-clock reads; any of these makes a cycle count run-dependent.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random constructors that are deterministic *when seeded*.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    id = "REPRO101"
+    title = "no wall-clock reads in the deterministic core"
+    scopes = DETERMINISTIC_SCOPES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualname(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{name}()` makes simulation output "
+                    "run-dependent; derive times from the simulation clock",
+                )
+
+
+@register
+class StdlibRandomRule(Rule):
+    id = "REPRO102"
+    title = "no global `random` module state in the deterministic core"
+    scopes = DETERMINISTIC_SCOPES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualname(node.func)
+            if name is None:
+                continue
+            if name == "random.Random":
+                # A locally seeded Random(seed) instance is reproducible.
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node, "`random.Random()` without a seed is nondeterministic"
+                    )
+                continue
+            if name.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}()` uses the process-global PRNG; thread a seeded "
+                    "generator through instead",
+                )
+
+
+@register
+class NumpyRandomRule(Rule):
+    id = "REPRO103"
+    title = "no unseeded numpy.random in the deterministic core"
+    scopes = DETERMINISTIC_SCOPES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.qualname(node.func)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            if name in _SEEDABLE_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{name}()` without an explicit seed draws OS entropy",
+                    )
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"`{name}()` mutates numpy's global PRNG state; use a seeded "
+                "`numpy.random.default_rng(seed)` generator",
+            )
+
+
+def _set_expression(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if iterating it depends on set hash order."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"`{func.id}(...)`"
+    return None
+
+
+#: Wrappers that preserve the (undefined) order of a set argument.
+_ORDER_PRESERVING_WRAPPERS = frozenset({"enumerate", "list", "tuple", "iter", "reversed"})
+
+
+@register
+class SetIterationRule(Rule):
+    id = "REPRO104"
+    title = "no iteration-order dependence on sets in the deterministic core"
+    scopes = DETERMINISTIC_SCOPES
+
+    def _iter_target(self, node: ast.expr) -> Optional[str]:
+        described = _set_expression(node)
+        if described is not None:
+            return described
+        # One unwrap through order-preserving wrappers: list(set(...)).
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_PRESERVING_WRAPPERS
+                and node.args
+            ):
+                inner = _set_expression(node.args[0])
+                if inner is not None:
+                    return f"{inner} (via `{func.id}`)"
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for target in iters:
+                described = self._iter_target(target)
+                if described is not None:
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"iterating {described} visits elements in hash order; "
+                        "wrap it in `sorted(...)` to fix the order",
+                    )

@@ -26,9 +26,34 @@ either way.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Protocol, Tuple, Union
 
 Track = Tuple[str, str]
+
+#: The ``args`` payload attached to trace events.
+EventArgs = Dict[str, object]
+
+
+class RecorderLike(Protocol):
+    """What instrumented code needs from a recorder.
+
+    Both :class:`NullRecorder` and :class:`EventRecorder` satisfy this
+    structurally; hot paths hold a ``RecorderLike`` (or ``None``) so the
+    enabled/disabled decision is one attribute check, never an
+    ``isinstance``.
+    """
+
+    @property
+    def enabled(self) -> bool: ...
+
+    def span(self, track: Track, name: str, start: float, end: float,
+             args: Optional[EventArgs] = None) -> None: ...
+
+    def instant(self, track: Track, name: str, ts: float,
+                args: Optional[EventArgs] = None) -> None: ...
+
+    def value(self, track: Track, name: str, ts: float, value: float) -> None: ...
 
 
 class NullRecorder:
@@ -38,11 +63,11 @@ class NullRecorder:
     enabled = False
 
     def span(self, track: Track, name: str, start: float, end: float,
-             args: Optional[dict] = None) -> None:
+             args: Optional[EventArgs] = None) -> None:
         pass
 
     def instant(self, track: Track, name: str, ts: float,
-                args: Optional[dict] = None) -> None:
+                args: Optional[EventArgs] = None) -> None:
         pass
 
     def value(self, track: Track, name: str, ts: float, value: float) -> None:
@@ -67,8 +92,8 @@ class EventRecorder:
     enabled = True
 
     def __init__(self) -> None:
-        self.events: List[dict] = []
-        self._meta: List[dict] = []
+        self.events: List[Dict[str, object]] = []
+        self._meta: List[Dict[str, object]] = []
         self._pids: Dict[str, int] = {}
         self._tids: Dict[Tuple[int, str], int] = {}
         # (track, name) -> [count, total_dur, max_dur, max_end]
@@ -102,12 +127,13 @@ class EventRecorder:
     # -- recording ----------------------------------------------------
 
     def span(self, track: Track, name: str, start: float, end: float,
-             args: Optional[dict] = None) -> None:
+             args: Optional[EventArgs] = None) -> None:
         """Record a complete ``[start, end]`` interval on ``track``."""
         pid, tid = self._ids(track)
-        event = {
+        duration = float(end) - float(start)
+        event: Dict[str, object] = {
             "ph": "X", "name": name, "cat": track[0],
-            "ts": float(start), "dur": float(end) - float(start),
+            "ts": float(start), "dur": duration,
             "pid": pid, "tid": tid,
         }
         if args:
@@ -118,15 +144,15 @@ class EventRecorder:
             aggregate = [0, 0.0, 0.0, float("-inf")]
             self._span_aggregates[(track, name)] = aggregate
         aggregate[0] += 1
-        aggregate[1] += event["dur"]
-        aggregate[2] = max(aggregate[2], event["dur"])
+        aggregate[1] += duration
+        aggregate[2] = max(aggregate[2], duration)
         aggregate[3] = max(aggregate[3], float(end))
 
     def instant(self, track: Track, name: str, ts: float,
-                args: Optional[dict] = None) -> None:
+                args: Optional[EventArgs] = None) -> None:
         """Record a point event at ``ts`` on ``track``."""
         pid, tid = self._ids(track)
-        event = {
+        event: Dict[str, object] = {
             "ph": "i", "name": name, "cat": track[0],
             "ts": float(ts), "pid": pid, "tid": tid, "s": "t",
         }
@@ -146,14 +172,14 @@ class EventRecorder:
 
     # -- export -------------------------------------------------------
 
-    def chrome_trace(self) -> dict:
+    def chrome_trace(self) -> Dict[str, object]:
         """The full run as a ``chrome://tracing`` JSON object."""
         return {
             "traceEvents": self._meta + self.events,
             "displayTimeUnit": "ms",
         }
 
-    def write_chrome_trace(self, path) -> None:
+    def write_chrome_trace(self, path: Union[str, "os.PathLike[str]"]) -> None:
         """Write :meth:`chrome_trace` to ``path`` as JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.chrome_trace(), handle, indent=1)
@@ -216,7 +242,7 @@ class EventRecorder:
             }
         return out
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, object]:
         """Everything the ``--metrics-out`` dump wants from the trace."""
         return {
             "events": len(self.events),
@@ -228,15 +254,15 @@ class EventRecorder:
 
 # -- the process-wide current recorder --------------------------------
 
-_current: object = NULL_RECORDER
+_current: RecorderLike = NULL_RECORDER
 
 
-def recorder():
+def recorder() -> RecorderLike:
     """The currently installed recorder (the null one unless enabled)."""
     return _current
 
 
-def set_recorder(new) -> object:
+def set_recorder(new: RecorderLike) -> RecorderLike:
     """Install ``new`` as the process recorder; returns the previous one."""
     global _current
     previous, _current = _current, new

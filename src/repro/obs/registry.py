@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type, TypeVar, cast
 
 from repro.errors import ConfigurationError
 
@@ -35,6 +35,9 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+
+M = TypeVar("M", bound="_Metric")
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -64,16 +67,19 @@ class _Metric:
         self._children: Dict[LabelKey, "_Metric"] = {}
         self._touched = False
 
-    def labels(self, **labels) -> "_Metric":
+    def labels(self: M, **labels: object) -> M:
         key = _label_key(labels)
         with self._lock:
-            child = self._children.get(key)
-            if child is None:
-                child = self._spawn()
-                self._children[key] = child
+            existing = self._children.get(key)
+            if existing is not None:
+                # Children are always spawned by type(self), so the
+                # stored base-typed reference is really an M.
+                return cast(M, existing)
+            child = self._spawn()
+            self._children[key] = child
             return child
 
-    def _spawn(self) -> "_Metric":
+    def _spawn(self: M) -> M:
         return type(self)(self.name, self.help)
 
     def _collect(self, out: Dict[str, object]) -> None:
@@ -86,7 +92,7 @@ class _Metric:
                 if child._touched:
                     out[_qualified(self.name, key)] = child._value_snapshot()
 
-    def _value_snapshot(self):  # pragma: no cover - overridden
+    def _value_snapshot(self) -> object:  # pragma: no cover - overridden
         raise NotImplementedError
 
 
@@ -108,7 +114,7 @@ class Counter(_Metric):
             self.value += amount
             self._touched = True
 
-    def _value_snapshot(self):
+    def _value_snapshot(self) -> float:
         return self.value
 
 
@@ -134,7 +140,7 @@ class Gauge(_Metric):
     def dec(self, amount: float = 1) -> None:
         self.inc(-amount)
 
-    def _value_snapshot(self):
+    def _value_snapshot(self) -> float:
         return self.value
 
 
@@ -195,7 +201,7 @@ class Histogram(_Metric):
         out["+Inf"] = running + self._counts[-1]
         return out
 
-    def _value_snapshot(self):
+    def _value_snapshot(self) -> Dict[str, object]:
         return {
             "count": self.count,
             "sum": self.sum,
@@ -212,23 +218,24 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
 
-    def _instrument(self, cls, name: str, help: str, **kwargs) -> _Metric:
+    def _instrument(self, cls: Type[M], name: str, factory: Callable[[], M]) -> M:
         with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = cls(name, help, **kwargs)
-                self._metrics[name] = metric
-            elif not isinstance(metric, cls):
+            existing = self._metrics.get(name)
+            if existing is None:
+                created = factory()
+                self._metrics[name] = created
+                return created
+            if not isinstance(existing, cls):
                 raise ConfigurationError(
-                    f"metric {name!r} already registered as a {metric.kind}"
+                    f"metric {name!r} already registered as a {existing.kind}"
                 )
-            return metric
+            return existing
 
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._instrument(Counter, name, help)
+        return self._instrument(Counter, name, lambda: Counter(name, help))
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._instrument(Gauge, name, help)
+        return self._instrument(Gauge, name, lambda: Gauge(name, help))
 
     def histogram(
         self,
@@ -236,7 +243,7 @@ class MetricsRegistry:
         help: str = "",
         edges: Sequence[float] = DEFAULT_TIME_BUCKETS,
     ) -> Histogram:
-        return self._instrument(Histogram, name, help, edges=edges)
+        return self._instrument(Histogram, name, lambda: Histogram(name, help, edges))
 
     def get(self, name: str) -> Optional[_Metric]:
         """The registered metric named ``name`` (None when absent)."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Optional
+from typing import Iterator, Optional, cast
 
 from repro.obs.recorder import recorder
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, registry
@@ -45,11 +45,11 @@ class Span:
 
 def current_span() -> Optional[Span]:
     """The innermost span open on this thread (None outside any)."""
-    return getattr(_local, "top", None)
+    return cast(Optional[Span], getattr(_local, "top", None))
 
 
 @contextmanager
-def span(name: str, **args):
+def span(name: str, **args: object) -> Iterator[Span]:
     """Time a block as ``name``; nests under any enclosing span.
 
     Always observes the duration into the registry histogram

@@ -9,10 +9,13 @@ busy node stall the whole in-order distribution stream (Section 8).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Event, Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RecorderLike
 
 
 class BoundedFifo:
@@ -29,7 +32,7 @@ class BoundedFifo:
         sim: Simulator,
         capacity: int,
         name: str = "fifo",
-        recorder=None,
+        recorder: Optional["RecorderLike"] = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"fifo capacity must be >= 1, got {capacity}")
@@ -39,7 +42,7 @@ class BoundedFifo:
         #: Optional event recorder; when set, every occupancy change is
         #: sampled onto the ``("sim", name)`` counter track (the FIFO
         #: occupancy histograms in trace summaries come from this).
-        self.recorder = recorder
+        self.recorder: Optional["RecorderLike"] = recorder
         self._items: Deque[Any] = deque()
         self._putters: Deque[Tuple[Event, Any]] = deque()
         self._getters: Deque[Event] = deque()
@@ -81,7 +84,10 @@ class BoundedFifo:
         return done
 
     def _sample(self) -> None:
-        self.recorder.value(
+        recorder = self.recorder
+        if recorder is None:
+            return
+        recorder.value(
             ("sim", self.name), "occupancy", self.sim.now, len(self._items)
         )
 

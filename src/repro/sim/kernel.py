@@ -16,9 +16,12 @@ numeric time.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RecorderLike
 
 #: Type of the generators that drive processes.
 ProcessGenerator = Generator["Event", Any, Any]
@@ -100,7 +103,7 @@ class Process(Event):
         name: Optional[str] = None,
     ) -> None:
         super().__init__(sim)
-        self.name = name or getattr(generator, "__name__", "process")
+        self.name: str = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._born = sim.now
         # Start the process at the current time via an immediate event.
@@ -151,9 +154,9 @@ class Simulator:
     and keeps the kernel's behaviour and cost unchanged.
     """
 
-    def __init__(self, recorder=None) -> None:
+    def __init__(self, recorder: Optional["RecorderLike"] = None) -> None:
         self.now: float = 0
-        self.recorder = recorder
+        self.recorder: Optional["RecorderLike"] = recorder
         self._queue: List[Tuple[float, int, Event, Any]] = []
         self._sequence = 0
 

@@ -1,6 +1,5 @@
 """Tests for the experiment drivers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.bus import BusModel
 from repro.core.node import drain_node, triangle_service_time

@@ -8,7 +8,7 @@ from repro.analysis.dynamic import (
     dynamic_assignment_for,
     render_comparison,
 )
-from repro.distribution import AssignedTiles, BlockInterleaved, TileGrid, lpt_assignment
+from repro.distribution import AssignedTiles, TileGrid, lpt_assignment
 from repro.errors import ConfigurationError
 
 

@@ -5,8 +5,6 @@ and output shape, not the quantitative results (the benchmark harness
 owns those).
 """
 
-import pytest
-
 from repro.analysis import experiments
 from repro.cli import main
 

@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.core.distributor import interleave_stream, run_event_machine
+from repro.core.distributor import run_event_machine
 from repro.core.machine import MachineConfig, simulate_machine
 from repro.core.routing import build_routed_work
 from repro.distribution import BlockInterleaved

@@ -5,7 +5,6 @@ scenes: conservation laws (pixels partition exactly), determinism, and
 the agreement of independently implemented paths.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generator and the named scenes."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
