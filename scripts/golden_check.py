@@ -32,7 +32,7 @@ sys.path.insert(0, str(ROOT))
 sys.path.insert(0, str(ROOT / "src"))
 
 from tests.golden_common import (  # noqa: E402
-    GOLDEN_POINTS,
+    ALL_POINTS,
     GOLDEN_SCALE,
     check_all,
     golden_path,
@@ -54,7 +54,7 @@ def check_goldens() -> int:
             "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py)"
         )
         return 1
-    print(f"golden check: OK — {len(GOLDEN_POINTS)} points match exactly")
+    print(f"golden check: OK — {len(ALL_POINTS)} points match exactly")
     return 0
 
 

@@ -1,0 +1,313 @@
+"""Chunk-parallel vectorized LRU replay.
+
+:meth:`repro.cache.lru.LruCache.simulate` historically replayed each
+set's substream with a per-access Python loop — the dominant cost of
+every cache run.  This module replaces that loop with numpy passes
+built on three exact identities (derivations in DESIGN.md §10):
+
+1. **Self-synchronization.**  A true-LRU set's stack after any access
+   sequence is exactly its W most-recently-used *distinct* lines in
+   recency order — independent of hit/miss outcomes and of whatever
+   the stack held before those W distinct lines appeared.
+2. **Chunk decomposition.**  Splitting a set's substream into chunks,
+   the stack after a chunk equals the chunk's own recency list (as if
+   replayed from an empty stack) merged in front of the pre-chunk
+   stack's not-reaccessed lines, truncated to W.  So every (set, chunk)
+   group can be replayed from an *empty* stack in parallel, and only
+   the short merge is sequential across chunks.
+3. **Boundary distances.**  Within a group, any access after the first
+   occurrence of its line has a stack distance fully determined by the
+   group's own history, so the empty-stack replay classifies it
+   exactly.  A group-first access to line L hits iff L sits at depth k
+   in the group's start stack and ``A + |{lines above L in the start
+   stack not reaccessed in-group before this access}| < W`` where A is
+   the number of distinct in-group lines seen so far — the start-stack
+   lines already reaccessed would otherwise be double counted.
+
+The replay therefore runs three vector stages: a round-based replay of
+all (set, chunk) groups at once from empty stacks, a short sequential
+stitch that merges per-chunk recency lists into running per-set stacks,
+and one batch pass resolving every group-first access against its
+recorded start stack.  The scalar path in ``lru.py`` remains the
+bit-exact reference; property tests assert equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Deduped accesses per chunk.  More chunks widen the parallel replay
+#: (more groups per round, fewer rounds) but add boundary accesses and
+#: merge-scan work.
+CHUNK_TARGET_LEN = 8192
+
+#: Once fewer than this many groups still have unreplayed accesses, the
+#: round loop hands the stragglers to a scalar finish — per-call numpy
+#: overhead would dominate such narrow rounds.
+MIN_ROUND_WIDTH = 64
+
+_PAD = np.int64(-1)
+
+
+def replay(
+    deduped: np.ndarray,
+    num_sets: int,
+    ways: int,
+    initial: Dict[int, List[int]],
+) -> Optional[Tuple[np.ndarray, Dict[int, List[int]]]]:
+    """Vectorized equivalent of the scalar per-set LRU replay.
+
+    ``deduped`` is the access stream with consecutive duplicates
+    already collapsed; ``initial`` is the current MRU-first content of
+    each set (not mutated).  Returns the per-access miss mask and the
+    replacement set contents, or ``None`` when the stream needs the
+    scalar reference path (negative lines, or address ranges whose
+    sort keys would overflow int64).
+    """
+    n = int(len(deduped))
+    if n == 0:
+        return np.zeros(0, dtype=bool), {k: list(v) for k, v in initial.items()}
+    if int(deduped.min()) < 0:
+        return None
+
+    sets_total = int(num_sets)
+    width = int(ways)
+    chunk_len = int(CHUNK_TARGET_LEN)
+    chunks = max(1, -(-n // chunk_len))
+
+    max_line = int(deduped.max())
+    # Line-major boundary keys are line * chunks + chunk; guard the
+    # int64 arithmetic for both the stream and the start stacks.
+    key_cap = 2**62 // chunks
+    if max_line >= key_cap:
+        return None
+    for ways_list in initial.values():
+        for held in ways_list:
+            if held < 0 or held >= key_cap:
+                return None
+
+    if sets_total & (sets_total - 1) == 0:
+        line_sets = deduped & (sets_total - 1)
+    else:
+        line_sets = deduped % sets_total
+    positions = np.arange(n, dtype=np.int32)
+    if chunk_len & (chunk_len - 1) == 0:
+        chunk_id = positions >> (chunk_len.bit_length() - 1)
+    else:
+        chunk_id = positions // chunk_len
+
+    # Work order: stably sorting by *set* alone yields exactly the
+    # stable sort by (set, chunk) group id — chunk ids are already
+    # non-decreasing in stream order — and set indices are narrow
+    # enough for numpy's radix pass (stable sort of <= 16-bit keys).
+    if sets_total <= 256:
+        sort_sets = line_sets.astype(np.uint8)
+    elif sets_total <= 65536:
+        sort_sets = line_sets.astype(np.uint16)
+    elif sets_total < 2**31:
+        sort_sets = line_sets.astype(np.int32)
+    else:
+        sort_sets = line_sets
+    order = np.argsort(sort_sets, kind="stable")
+    ws = sort_sets[order]
+    wl = deduped[order]
+    wc = chunk_id[order]
+
+    bounds = np.flatnonzero((ws[1:] != ws[:-1]) | (wc[1:] != wc[:-1])) + 1
+    gstarts = np.concatenate(([0], bounds))
+    counts = np.diff(np.concatenate((gstarts, [n])))
+    num_groups = len(gstarts)
+    gids = ws[gstarts].astype(np.int64) * chunks + wc[gstarts]
+
+    # First occurrence of each (group, line) pair from one stable sort
+    # by line value.  A (group, line) pair maps 1:1 to (line, chunk) —
+    # the line fixes the set — and ties keep work order, chunk
+    # ascending, so ``line * chunks + chunk`` comes out sorted: the
+    # boundary pass below can binary-search it directly.
+    if max_line <= 65535:
+        by_key = np.argsort(wl.astype(np.uint16), kind="stable")
+    else:
+        by_key = np.argsort(wl, kind="stable")
+    keys_sorted = wl[by_key].astype(np.int64) * chunks + wc[by_key]
+    fo_sorted = np.empty(n, dtype=bool)
+    fo_sorted[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=fo_sorted[1:])
+    first_occ = np.empty(n, dtype=bool)
+    first_occ[by_key] = fo_sorted
+    # In-group rank of each first occurrence, without materialising a
+    # full per-access rank array: rank = position - its group's start.
+    fo_positions = by_key[fo_sorted]
+    fo_keys = keys_sorted[fo_sorted]
+    fo_ranks = fo_positions - gstarts[
+        np.searchsorted(gstarts, fo_positions, side="right") - 1
+    ]
+
+    # Distinct in-group lines seen before each access (exclusive),
+    # needed only at group-first accesses.
+    fo_cum = np.cumsum(first_occ)
+    fo_cum -= first_occ
+
+    # -- phase 1: replay every group from an empty stack ----------------
+    # Round r touches each group's r-th access; sorting groups by length
+    # makes the still-active groups a shrinking prefix.  The stack is
+    # kept transposed — one contiguous row per way — so each round runs
+    # a handful of 1-D column ops instead of 2-D reductions: an access
+    # hits iff some way matches, and way k inherits way k-1's line
+    # exactly while no shallower way has matched.
+    by_len = np.argsort(-counts, kind="stable")
+    starts_l = gstarts[by_len]
+    counts_l = counts[by_len]
+    neg_counts = -counts_l
+    wl_narrow = wl.astype(np.int32, copy=False) if max_line < 2**31 else wl
+    stack = np.full((width, num_groups), _PAD, dtype=wl_narrow.dtype)
+    miss = np.zeros(n, dtype=bool)
+    cols = np.arange(width)
+
+    r = 0
+    max_rounds = int(counts_l[0])
+    while r < max_rounds:
+        active = int(np.searchsorted(neg_counts, -(r + 1), side="right"))
+        if active == 0:
+            break
+        if active < MIN_ROUND_WIDTH:
+            _finish_scalar(stack, miss, wl, starts_l, counts_l, active, r, width)
+            break
+        at_r = starts_l[:active] + r
+        lines_r = wl_narrow[at_r]
+        matched = [stack[k, :active] == lines_r for k in range(width)]
+        # shifts[k-1]: no way shallower than k matched, so way k
+        # inherits way k-1's line.  Writing deepest-first needs no
+        # copies of the displaced lines.
+        seen = matched[0].copy()
+        shifts = [~seen]
+        for k in range(1, width - 1):
+            seen |= matched[k]
+            shifts.append(~seen)
+        hit = seen | matched[width - 1] if width > 1 else seen
+        for k in range(width - 1, 0, -1):
+            stack[k, :active] = np.where(
+                shifts[k - 1], stack[k - 1, :active], stack[k, :active]
+            )
+        stack[0, :active] = lines_r
+        miss[at_r] = ~hit
+        r += 1
+
+    # -- phase 2: merge per-chunk recency lists into per-set stacks -----
+    # Stack merge is associative (DESIGN.md §10), so the running stack
+    # ahead of every chunk is an inclusive prefix scan of the per-chunk
+    # finals under :func:`_merge_stacks` — O(log chunks) vectorized
+    # doubling steps instead of a sequential chunk loop.
+    finals = np.full((chunks, sets_total, width), _PAD, dtype=np.int64)
+    g_sorted = gids[by_len]
+    finals[g_sorted % chunks, g_sorted // chunks] = stack.T
+
+    init_stack = np.full((sets_total, width), _PAD, dtype=np.int64)
+    for set_index, ways_list in initial.items():
+        head = ways_list[:width]
+        init_stack[set_index, : len(head)] = head
+
+    prefix = finals
+    d = 1
+    while d < chunks:
+        prefix[d:] = _merge_stacks(prefix[d:], prefix[:-d], width)
+        d *= 2
+
+    start_states = np.empty((chunks, sets_total, width), dtype=np.int64)
+    start_states[0] = init_stack
+    if chunks > 1:
+        behind = np.broadcast_to(init_stack, (chunks - 1, sets_total, width))
+        start_states[1:] = _merge_stacks(prefix[:-1], behind, width)
+    cur = _merge_stacks(prefix[-1], init_stack, width)
+
+    # -- phase 3: resolve every group-first access against its start stack
+    boundary = np.flatnonzero(first_occ)
+    b_index = np.searchsorted(gstarts, boundary, side="right") - 1
+    b_start = gstarts[b_index]
+    b_rank = boundary - b_start
+    b_group = gids[b_index]
+    b_chunk = b_group % chunks
+    rows = start_states[b_chunk, b_group // chunks]
+    eq = rows == wl[boundary][:, None]
+    found = eq.any(axis=1)
+    depth = eq.argmax(axis=1)
+    above = cols[None, :] < depth[:, None]
+    # Rank of each start-stack line's own first in-group access (n when
+    # never reaccessed); lines reaccessed before this access are
+    # already counted in distinct_before.  Pad entries never sit above
+    # a found line, so their negative keys are harmless.
+    row_keys = rows * chunks + b_chunk[:, None]
+    at = np.minimum(np.searchsorted(fo_keys, row_keys), len(fo_keys) - 1)
+    known = fo_keys[at] == row_keys
+    row_rank = np.where(known, fo_ranks[at], np.int64(n))
+    surviving = row_rank >= b_rank[:, None]
+    distinct_before = fo_cum[boundary] - fo_cum[b_start]
+    dist = distinct_before + np.sum(above & surviving, axis=1)
+    miss[boundary] = ~(found & (dist < width))
+
+    result_sets: Dict[int, List[int]] = {}
+    for set_index in range(sets_total):
+        row_list = [int(v) for v in cur[set_index] if v != _PAD]
+        if row_list:
+            result_sets[set_index] = row_list
+
+    out = np.zeros(n, dtype=bool)
+    out[order] = miss
+    return out, result_sets
+
+
+def _merge_stacks(newer: np.ndarray, older: np.ndarray, width: int) -> np.ndarray:
+    """Recency-merge stack arrays of shape ``(..., width)``.
+
+    ``newer`` holds the most recent distinct lines; ``older`` lines
+    already present in ``newer`` sit there at their new recency and are
+    dropped, the rest follow in order, truncated to ``width``.  The
+    operation is associative, which is what lets the caller scan it.
+    """
+    big = 2 * width + 1
+    cols = np.arange(width)
+    carried = (older[..., :, None] == newer[..., None, :]).any(axis=-1)
+    key_new = np.where(newer != _PAD, cols, big)
+    key_old = np.where((older != _PAD) & ~carried, width + cols, big)
+    keys = np.concatenate((key_new, key_old), axis=-1)
+    vals = np.concatenate((newer, older), axis=-1)
+    sel = np.argsort(keys, axis=-1, kind="stable")
+    merged_vals = np.take_along_axis(vals, sel, axis=-1)[..., :width]
+    merged_keys = np.take_along_axis(keys, sel, axis=-1)[..., :width]
+    return np.where(merged_keys == big, _PAD, merged_vals)
+
+
+def _finish_scalar(
+    stack: np.ndarray,
+    miss: np.ndarray,
+    wl: np.ndarray,
+    starts_l: np.ndarray,
+    counts_l: np.ndarray,
+    active: int,
+    r: int,
+    width: int,
+) -> None:
+    """Replay the remaining accesses of the last few groups scalarly.
+
+    ``stack`` is the transposed (way, group) layout of phase 1.
+    """
+    for gi in range(active):
+        base = int(starts_l[gi])
+        stop = base + int(counts_l[gi])
+        ways_list = [int(v) for v in stack[:, gi] if v != _PAD]
+        for j in range(base + r, stop):
+            line = int(wl[j])
+            try:
+                at = ways_list.index(line)
+            except ValueError:
+                miss[j] = True
+                if len(ways_list) >= width:
+                    ways_list.pop()
+                ways_list.insert(0, line)
+            else:
+                if at:
+                    del ways_list[at]
+                    ways_list.insert(0, line)
+        stack[: len(ways_list), gi] = ways_list
+        stack[len(ways_list) :, gi] = _PAD

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cache import batchlru
 from repro.cache.config import CacheConfig
 
 
@@ -58,9 +59,19 @@ class LruCache:
 
     # -- batched path ----------------------------------------------------------
 
-    def simulate(self, lines: np.ndarray) -> np.ndarray:
-        """Access a stream of lines; returns a per-access miss mask."""
-        lines = np.asarray(lines, dtype=np.int64)
+    def simulate(
+        self, lines: np.ndarray, *, force_scalar: bool = False
+    ) -> np.ndarray:
+        """Access a stream of lines; returns a per-access miss mask.
+
+        The replay normally runs through the chunk-parallel batch path
+        (:mod:`repro.cache.batchlru`); ``force_scalar`` pins the scalar
+        per-set reference loop instead, which equivalence tests compare
+        against bit-exactly.
+        """
+        lines = np.asarray(lines)
+        if lines.dtype != np.int32 and lines.dtype != np.int64:
+            lines = lines.astype(np.int64)
         n = len(lines)
         misses = np.zeros(n, dtype=bool)
         if n == 0:
@@ -76,6 +87,16 @@ class LruCache:
             return misses
         deduped = lines[positions]
 
+        if not force_scalar:
+            replayed = batchlru.replay(
+                deduped, self.config.num_sets, self.config.ways, self._sets
+            )
+            if replayed is not None:
+                deduped_misses, self._sets = replayed
+                misses[positions] = deduped_misses
+                return misses
+
+        # -- scalar reference replay ---------------------------------------
         # Stable partition by set; each set's subsequence keeps its order.
         sets = deduped % self.config.num_sets
         order = np.argsort(sets, kind="stable")

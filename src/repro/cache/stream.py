@@ -51,8 +51,8 @@ def replay_fragments(
         lines = tex_filter.line_addresses(
             fragments.u[start:stop],
             fragments.v[start:stop],
-            fragments.level[start:stop].astype(np.int64),
-            fragments.texture[start:stop].astype(np.int64),
+            fragments.level[start:stop],
+            fragments.texture[start:stop],
         )
         flat = lines.reshape(-1)
         miss_mask = model.misses(flat)

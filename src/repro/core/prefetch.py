@@ -94,17 +94,23 @@ def _pipeline_cycles(
     # address generator and the filter.  Its data is ready one latency
     # after its bandwidth-serialised transfer; fragments retire in
     # order at one per cycle once their data is there.
+    # Premultiply the per-fragment transfer costs in one array pass;
+    # ``count * transfer`` is elementwise-identical either way, and the
+    # recurrence below is the only genuinely sequential part.  The
+    # miss/hit branch still tests ``count``: a miss with a zero-cost
+    # transfer must take the latency path.
+    costs = misses * transfer
     retires: Deque[float] = deque()
     issue = -1.0
     bus_free = 0.0
     last_retire = -1.0
-    for count in misses.tolist():
+    for count, cost in zip(misses.tolist(), costs.tolist()):
         issue += 1.0
         if len(retires) >= fifo_depth:
             issue = max(issue, retires.popleft())
         if count:
             begin = max(bus_free, issue)
-            bus_free = begin + count * transfer
+            bus_free = begin + cost
             ready = bus_free + memory_latency
         else:
             ready = issue

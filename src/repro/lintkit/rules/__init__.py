@@ -1,5 +1,5 @@
 """Built-in rule modules; importing this package registers them all."""
 
-from repro.lintkit.rules import concurrency, cycles, determinism, obs
+from repro.lintkit.rules import batch, concurrency, cycles, determinism, obs
 
-__all__ = ["concurrency", "cycles", "determinism", "obs"]
+__all__ = ["batch", "concurrency", "cycles", "determinism", "obs"]

@@ -99,7 +99,19 @@ def rasterize_triangle(
 
 
 def rasterize_scene(scene: Scene) -> FragmentBuffer:
-    """Rasterize every triangle of a scene, preserving submission order."""
+    """Rasterize every triangle of a scene, preserving submission order.
+
+    Delegates to the batch scan converter; the per-triangle path below
+    (:func:`rasterize_scene_scalar`) is the bit-exact reference the
+    equivalence property tests compare against.
+    """
+    from repro.raster.batch import rasterize_scene_batch
+
+    return rasterize_scene_batch(scene, mip_level_for_scale)
+
+
+def rasterize_scene_scalar(scene: Scene) -> FragmentBuffer:
+    """Reference rasterizer: one triangle at a time."""
     columns: List[dict] = []
     for index, triangle in enumerate(scene.triangles):
         result = rasterize_triangle(triangle, scene.width, scene.height, index)

@@ -83,8 +83,64 @@ class TrilinearFilter:
         levels: np.ndarray,
         texture_ids: np.ndarray,
     ) -> np.ndarray:
-        """Cache-line address of each of the 8 texels, shape ``(n, 8)``."""
-        return self._footprint(u, v, levels, texture_ids, self.layout.line_address)
+        """Cache-line address of each of the 8 texels, shape ``(n, 8)``.
+
+        Fused fast path: the generic :meth:`_footprint` re-gathers the
+        layout tables through :meth:`TextureMemoryLayout.slot` for every
+        corner; here each level half gathers its slot row once and the
+        four corner addresses share the row term.  Every elementwise
+        operation matches the generic path expression for expression
+        (the footprint property test pins the equivalence bit for bit).
+        """
+        layout = self.layout
+        n = len(u)
+        narrow = layout.narrow
+        # Own the index dtypes so callers can hand over raw fragment
+        # columns (int16 levels, int32 texture ids) without widening.
+        if narrow:
+            texture_ids = np.asarray(texture_ids).astype(np.int32, copy=False)
+            levels = np.asarray(levels).astype(np.int32, copy=False)
+            num_levels = layout.num_levels32
+            level_width = layout.level_width32
+            level_height = layout.level_height32
+            line_base = layout.line_base32
+            blocks_wide = layout.blocks_wide32
+            itype = np.int32
+        else:
+            texture_ids = np.asarray(texture_ids).astype(np.int64, copy=False)
+            levels = np.asarray(levels).astype(np.int64, copy=False)
+            num_levels = layout.num_levels
+            level_width = layout.level_width
+            level_height = layout.level_height
+            line_base = layout.line_base
+            blocks_wide = layout.blocks_wide
+            itype = np.int64
+        upper = np.minimum(levels + 1, num_levels[texture_ids] - 1)
+        out = np.empty((n, TEXELS_PER_FRAGMENT), dtype=itype)
+        max_levels = layout.max_levels
+        for half, lvl in enumerate((levels, upper)):
+            # One clamp + gather per half; `scale` uses the *unclamped*
+            # level, exactly as _bilinear_corners does.
+            slots = texture_ids * max_levels + np.minimum(
+                lvl, num_levels[texture_ids] - 1
+            )
+            width = level_width[slots]
+            height = level_height[slots]
+            scale = np.ldexp(1.0, -lvl.astype(np.int32))
+            i0 = np.floor(u * scale - 0.5).astype(itype) % width
+            j0 = np.floor(v * scale - 0.5).astype(itype) % height
+            i1 = (i0 + 1) % width
+            j1 = (j0 + 1) % height
+            bi0 = i0 >> layout._shift_w
+            bi1 = i1 >> layout._shift_w
+            row0 = line_base[slots] + (j0 >> layout._shift_h) * blocks_wide[slots]
+            row1 = line_base[slots] + (j1 >> layout._shift_h) * blocks_wide[slots]
+            base = half * 4
+            out[:, base + 0] = row0 + bi0
+            out[:, base + 1] = row0 + bi1
+            out[:, base + 2] = row1 + bi0
+            out[:, base + 3] = row1 + bi1
+        return out
 
     def texel_addresses(
         self,

@@ -45,23 +45,48 @@ GOLDEN_POINTS: Tuple[Tuple[str, str, int, int], ...] = tuple(
     for processors in (1, 4)
 )
 
+#: Linear scale of the large points — half the paper's Table-1 frame,
+#: affordable now that the hot path is array-native.
+LARGE_SCALE = 0.5
 
-def point_name(scene: str, family: str, size: int, processors: int) -> str:
-    return f"{scene}_{family}{size}_p{processors}"
+#: Two points near Table-1 resolution; their files carry an ``_s<pct>``
+#: suffix so the original small-scale names stay untouched.
+LARGE_POINTS: Tuple[Tuple[str, str, int, int, float], ...] = (
+    ("truc640", "block", 16, 4, LARGE_SCALE),
+    ("blowout775", "sli", 2, 4, LARGE_SCALE),
+)
+
+#: Every committed point, normalised to (scene, family, size, processors, scale).
+ALL_POINTS: Tuple[Tuple[str, str, int, int, float], ...] = (
+    tuple((*point, GOLDEN_SCALE) for point in GOLDEN_POINTS) + LARGE_POINTS
+)
 
 
-def golden_path(scene: str, family: str, size: int, processors: int) -> Path:
-    return GOLDEN_DIR / f"{point_name(scene, family, size, processors)}.json"
+def point_name(
+    scene: str, family: str, size: int, processors: int, scale: float = GOLDEN_SCALE
+) -> str:
+    name = f"{scene}_{family}{size}_p{processors}"
+    if scale != GOLDEN_SCALE:
+        name += f"_s{round(scale * 100)}"
+    return name
 
 
-def compute_point(scene: str, family: str, size: int, processors: int) -> Dict:
+def golden_path(
+    scene: str, family: str, size: int, processors: int, scale: float = GOLDEN_SCALE
+) -> Path:
+    return GOLDEN_DIR / f"{point_name(scene, family, size, processors, scale)}.json"
+
+
+def compute_point(
+    scene: str, family: str, size: int, processors: int, scale: float = GOLDEN_SCALE
+) -> Dict:
     """Simulate one golden point and distill its comparison metrics.
 
     Uses the same spec plumbing as the batch runner so the goldens pin
     the full path from spec dict to result, not just the timing model.
     """
     spec = {"family": family, "size": size, "processors": processors}
-    built = build_scene(scene, scale=GOLDEN_SCALE)
+    built = build_scene(scene, scale=scale)
     distribution = distribution_from_spec(spec, built.height)
     config = machine_config_from_spec(spec, distribution)
     baseline = single_processor_baseline(built, config)
@@ -71,7 +96,7 @@ def compute_point(scene: str, family: str, size: int, processors: int) -> Dict:
         "family": family,
         "size": size,
         "processors": processors,
-        "scale": GOLDEN_SCALE,
+        "scale": scale,
         "metrics": {
             "cycles": result.cycles,
             "baseline_cycles": baseline,
@@ -106,13 +131,13 @@ def check_all() -> List[str]:
     drifted quantities rather than a bare assertion.
     """
     problems: List[str] = []
-    for scene, family, size, processors in GOLDEN_POINTS:
-        path = golden_path(scene, family, size, processors)
+    for scene, family, size, processors, scale in ALL_POINTS:
+        path = golden_path(scene, family, size, processors, scale)
         if not path.exists():
             problems.append(f"missing golden file {path.name}")
             continue
         expected = load_golden(path)
-        got = compute_point(scene, family, size, processors)
+        got = compute_point(scene, family, size, processors, scale)
         for key, want in expected["metrics"].items():
             have = got["metrics"].get(key)
             if have != want:

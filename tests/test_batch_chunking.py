@@ -1,0 +1,138 @@
+"""Chunking property tests for the array-native batch passes.
+
+Every batch module processes its stream in bounded chunks so the flat
+working arrays stay cache-resident.  Chunk boundaries are pure
+implementation detail: wherever the split lands, the output must be
+bit-identical to the scalar reference and to any other split.  These
+tests randomize the split points (seeded) and assert exactly that for
+the raster scan converter, the fused texture address pass, and the
+chunked LRU replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import batchlru
+from repro.cache.config import CacheConfig
+from repro.cache.lru import LruCache
+from repro.raster import batch as raster_batch
+from repro.raster.fragments import FragmentBuffer
+from repro.raster.raster import (
+    mip_level_for_scale,
+    rasterize_scene_scalar,
+)
+from repro.texture.filtering import TrilinearFilter
+from repro.workloads.scenes import build_scene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene("quake", scale=0.0625)
+
+
+@pytest.fixture(scope="module")
+def fragments(scene):
+    buffer = rasterize_scene_scalar(scene)
+    assert len(buffer.x) > 0
+    return buffer
+
+
+def assert_buffers_identical(left: FragmentBuffer, right: FragmentBuffer) -> None:
+    for name in FragmentBuffer.COLUMNS:
+        a, b = getattr(left, name), getattr(right, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 401, 1 << 18])
+def test_raster_batch_matches_scalar_under_any_chunking(
+    scene, fragments, monkeypatch, chunk
+):
+    monkeypatch.setattr(raster_batch, "CHUNK_CANDIDATES", chunk)
+    batched = raster_batch.rasterize_scene_batch(scene, mip_level_for_scale)
+    assert_buffers_identical(batched, fragments)
+
+
+def test_raster_batch_random_chunk_sizes(scene, fragments, monkeypatch):
+    rng = np.random.default_rng(601)
+    for chunk in rng.integers(2, 5000, size=4):
+        monkeypatch.setattr(raster_batch, "CHUNK_CANDIDATES", int(chunk))
+        batched = raster_batch.rasterize_scene_batch(scene, mip_level_for_scale)
+        assert_buffers_identical(batched, fragments)
+
+
+def test_fused_texture_addresses_match_footprint_reference(scene, fragments):
+    layout = scene.memory_layout()
+    filt = TrilinearFilter(layout)
+    u, v = fragments.u, fragments.v
+    levels = fragments.level.astype(np.int64)
+    texture_ids = fragments.texture.astype(np.int64)
+    fused = filt.line_addresses(u, v, levels, texture_ids)
+    reference = filt._footprint(u, v, levels, texture_ids, layout.line_address)
+    assert np.array_equal(np.asarray(fused, dtype=np.int64), reference)
+
+
+def test_fused_texture_addresses_chunk_invariant(scene, fragments):
+    layout = scene.memory_layout()
+    filt = TrilinearFilter(layout)
+    u, v = fragments.u, fragments.v
+    levels = fragments.level.astype(np.int64)
+    texture_ids = fragments.texture.astype(np.int64)
+    whole = filt.line_addresses(u, v, levels, texture_ids)
+
+    rng = np.random.default_rng(602)
+    n = len(u)
+    for _ in range(4):
+        cuts = np.sort(rng.integers(0, n + 1, size=rng.integers(1, 8)))
+        pieces = [
+            filt.line_addresses(u[a:b], v[a:b], levels[a:b], texture_ids[a:b])
+            for a, b in zip(np.concatenate(([0], cuts)), np.concatenate((cuts, [n])))
+            if b > a
+        ]
+        assert np.array_equal(np.concatenate(pieces), whole)
+
+
+def _random_stream(rng, length):
+    span = int(rng.choice([16, 1 << 10, 1 << 20]))
+    return rng.integers(0, span, size=length).astype(np.int64)
+
+
+def _config(num_sets: int, ways: int) -> CacheConfig:
+    return CacheConfig(total_bytes=num_sets * ways * 64, ways=ways)
+
+
+@pytest.mark.parametrize("num_sets,ways", [(1, 2), (3, 1), (4, 4), (64, 2)])
+def test_lru_replay_matches_scalar_under_random_chunking(
+    monkeypatch, num_sets, ways
+):
+    rng = np.random.default_rng(603 + num_sets * 8 + ways)
+    for chunk in (3, 17, int(rng.integers(32, 4096)), batchlru.CHUNK_TARGET_LEN):
+        monkeypatch.setattr(batchlru, "CHUNK_TARGET_LEN", chunk)
+        lines = _random_stream(rng, int(rng.integers(1, 6000)))
+        config = _config(num_sets, ways)
+        batched, scalar = LruCache(config), LruCache(config)
+        assert np.array_equal(
+            batched.simulate(lines),
+            scalar.simulate(lines, force_scalar=True),
+        )
+        assert batched.contents() == scalar.contents()
+
+
+def test_lru_replay_is_call_split_invariant(monkeypatch):
+    """Feeding one stream in random slices equals one whole-stream call."""
+    rng = np.random.default_rng(604)
+    monkeypatch.setattr(batchlru, "CHUNK_TARGET_LEN", 64)
+    lines = _random_stream(rng, 5000)
+    config = _config(8, 4)
+    whole_cache, split_cache = LruCache(config), LruCache(config)
+    whole = whole_cache.simulate(lines)
+
+    cuts = np.sort(rng.integers(0, len(lines) + 1, size=6))
+    edges = np.concatenate(([0], cuts, [len(lines)]))
+    pieces = [
+        split_cache.simulate(lines[a:b]) for a, b in zip(edges, edges[1:]) if b > a
+    ]
+    assert np.array_equal(np.concatenate(pieces), whole)
+    assert split_cache.contents() == whole_cache.contents()

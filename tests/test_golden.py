@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from tests.golden_common import (
-    GOLDEN_POINTS,
+    ALL_POINTS,
     compute_point,
     golden_path,
     load_golden,
@@ -26,13 +26,13 @@ from tests.golden_common import (
 
 
 @pytest.mark.parametrize(
-    "scene,family,size,processors",
-    GOLDEN_POINTS,
-    ids=[point_name(*point) for point in GOLDEN_POINTS],
+    "scene,family,size,processors,scale",
+    ALL_POINTS,
+    ids=[point_name(*point) for point in ALL_POINTS],
 )
-def test_golden_point(scene, family, size, processors):
-    path = golden_path(scene, family, size, processors)
-    got = compute_point(scene, family, size, processors)
+def test_golden_point(scene, family, size, processors, scale):
+    path = golden_path(scene, family, size, processors, scale)
+    got = compute_point(scene, family, size, processors, scale)
 
     if update_requested():
         write_golden(path, got)
@@ -55,7 +55,7 @@ def test_golden_files_match_point_list():
     """Every committed golden file corresponds to a live point (no orphans)."""
     if update_requested():
         pytest.skip("regeneration run")
-    expected_names = {point_name(*point) + ".json" for point in GOLDEN_POINTS}
+    expected_names = {point_name(*point) + ".json" for point in ALL_POINTS}
     from tests.golden_common import iter_golden_files
 
     on_disk = {path.name for path in iter_golden_files()}

@@ -441,6 +441,73 @@ def test_repro402_exempts_holds_the_lock_docstring():
 
 
 # ---------------------------------------------------------------------------
+# Batch-core rules (REPRO501)
+
+
+def test_repro501_flags_for_loop_over_column_attribute():
+    src = """\
+        def misses(fragments):
+            out = []
+            for value in fragments.u:
+                out.append(value * 2.0)
+            return out
+    """
+    assert rule_ids(src, module="repro.texture.filtering") == ["REPRO501"]
+
+
+def test_repro501_flags_zip_and_range_len_spellings():
+    src = """\
+        def walk(buf):
+            for u, v in zip(buf.u, buf.v):
+                yield u + v
+
+        def walk_indexed(buf):
+            for index in range(len(buf.x)):
+                yield buf.x[index]
+    """
+    assert rule_ids(src, module="repro.raster.batch") == ["REPRO501", "REPRO501"]
+
+
+def test_repro501_flags_column_dict_subscript_iteration():
+    src = """\
+        def drain(piece):
+            return [value + 1 for value in piece["texture"]]
+    """
+    assert rule_ids(src, module="repro.cache.stream") == ["REPRO501"]
+
+
+def test_repro501_flags_while_condition_on_column():
+    src = """\
+        def drain(buf):
+            index = 0
+            while index < len(buf.level):
+                index += 1
+    """
+    assert rule_ids(src, module="repro.cache.batchlru") == ["REPRO501"]
+
+
+def test_repro501_allows_chunk_and_setup_loops():
+    src = """\
+        def chunked(n, size):
+            for start in range(0, n, size):
+                yield start
+
+        def join(pieces, names):
+            return {name: [piece[name] for piece in pieces] for name in names}
+    """
+    assert rule_ids(src, module="repro.cache.stream") == []
+
+
+def test_repro501_scoped_to_the_batch_perimeter():
+    src = """\
+        def reference(fragments):
+            return [value * 2.0 for value in fragments.u]
+    """
+    assert rule_ids(src, module="repro.raster.raster") == []
+    assert rule_ids(src, module="repro.cache.lru") == []
+
+
+# ---------------------------------------------------------------------------
 # Inline suppression
 
 
@@ -519,6 +586,7 @@ def test_all_rules_catalog_is_complete():
         "REPRO302",
         "REPRO401",
         "REPRO402",
+        "REPRO501",
     }
 
 
