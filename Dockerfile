@@ -1,0 +1,18 @@
+FROM python:3.11-slim
+
+WORKDIR /app
+
+# Install the package first so image rebuilds reuse the dependency
+# layer when only source changes.
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+COPY scripts ./scripts
+
+ENV PYTHONUNBUFFERED=1
+
+# Coordinator by default; compose overrides the command for workers
+# and the smoke client.
+EXPOSE 8765
+CMD ["repro-experiments", "serve", "--host", "0.0.0.0", "--port", "8765"]

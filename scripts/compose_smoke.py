@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""In-cluster smoke client for the compose topology.
+
+Runs inside the compose network against ``REPRO_SERVICE_URL`` (a pure
+coordinator with remote workers attached) and asserts the cluster
+behaviour the unit tests cannot: duplicate submissions coalesce into
+one execution across worker containers, distinct jobs spread over the
+fleet, and a resubmission after completion is a shared-tier cache hit.
+
+    REPRO_SERVICE_URL=http://coordinator:8765 python scripts/compose_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+PAYLOAD = {"scene": "truc640", "scale": 0.0625, "processors": 4, "size": 16}
+DISTINCT = [
+    {"scene": "truc640", "scale": 0.0625, "processors": p, "size": 16}
+    for p in (2, 8, 16)
+]
+
+
+def _wait_healthy(client: ServiceClient, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            health = client.healthz()
+            if health["status"] == "ok":
+                return
+            last = health
+        except Exception as exc:  # noqa: BLE001 - startup races are expected
+            last = exc
+        time.sleep(0.5)
+    raise AssertionError(f"coordinator never became healthy: {last}")
+
+
+def main() -> int:
+    url = os.environ.get("REPRO_SERVICE_URL", "http://coordinator:8765")
+    client = ServiceClient(url)
+    _wait_healthy(client)
+    health = client.healthz()
+    assert not health["local_execution"], health
+
+    # Triplicate submission -> one execution, shared across workers.
+    submissions = [client.submit(PAYLOAD) for _ in range(3)]
+    done = client.wait(submissions[0]["id"], timeout=600)
+    assert done["state"] == "done", done
+    metrics = client.metrics()
+    counters = metrics["counters"]
+    assert counters["submitted"] == 3, counters
+    assert counters["completed"] == 1, counters
+    assert counters["deduped"] + counters["cache_hits"] == 2, counters
+    assert metrics["result_store"]["misses"] == 1, metrics["result_store"]
+    print("compose smoke: dedup OK — 3 submissions, 1 execution")
+
+    # Distinct jobs all complete through the lease protocol.
+    jobs = [client.submit(payload) for payload in DISTINCT]
+    for job in jobs:
+        record = client.wait(job["id"], timeout=600)
+        assert record["state"] == "done", record
+    metrics = client.metrics()
+    assert metrics["counters"]["completed"] == 1 + len(DISTINCT), metrics["counters"]
+    assert metrics["leases"]["workers_known"] >= 1, metrics["leases"]
+    print(
+        "compose smoke: fleet OK — "
+        f"{metrics['leases']['workers_known']} worker(s) leased jobs"
+    )
+
+    # A resubmission after completion never reaches a worker again.
+    again = client.submit(PAYLOAD)
+    assert again["state"] == "done" and again["cached"], again
+    assert client.metrics()["counters"]["completed"] == 1 + len(DISTINCT)
+
+    text = client.result(done["result_key"])["text"]
+    assert "truc640" in text, text
+    print(f"compose smoke: OK — {text.strip()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

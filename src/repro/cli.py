@@ -11,6 +11,8 @@ Examples::
     repro-experiments dump-trace --scene quake --path quake.trace
     repro-experiments replay-trace --path quake.trace --processors 16
     repro-experiments serve --port 8765 --workers 2
+    repro-experiments serve --port 8765 --no-local-workers --max-queue-depth 256
+    repro-experiments worker --url http://127.0.0.1:8765
     repro-experiments submit --url http://127.0.0.1:8765 --run table1 --wait
     repro-experiments status --url http://127.0.0.1:8765 --id job-1
 """
@@ -39,6 +41,7 @@ _COMMANDS = {
     "batch": "run a JSON campaign file (--path, optionally --out)",
     "lint": "run the repro-lint static analyzer (same flags as repro-lint)",
     "serve": "start the experiment job service (--host, --port, --workers)",
+    "worker": "start a fleet worker pulling jobs from a coordinator (--url)",
     "submit": "submit a job to a running service (--url, --run/--scene/--job)",
     "status": "show a job (--id) or service metrics from --url",
 }
@@ -146,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "and, with --trace-out, trace summaries) to FILE at exit"
         ),
     )
-    service = parser.add_argument_group("job service (serve / submit / status)")
+    service = parser.add_argument_group("job service (serve / worker / submit / status)")
     service.add_argument(
         "--host", default="127.0.0.1", help="serve: bind address (default: 127.0.0.1)"
     )
@@ -160,9 +163,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--url",
         default=None,
         help=(
-            "submit/status: service base URL (default: REPRO_SERVICE_URL "
+            "worker/submit/status: service base URL (default: REPRO_SERVICE_URL "
             f"env var or http://127.0.0.1:{DEFAULT_SERVICE_PORT})"
         ),
+    )
+    service.add_argument(
+        "--no-local-workers",
+        action="store_true",
+        help=(
+            "serve: run as a pure coordinator — no local execution, jobs "
+            "are only handed to remote workers through the lease protocol"
+        ),
+    )
+    service.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="serve: reject POST /jobs with 429 past this many queued jobs",
+    )
+    service.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "serve: seconds a remote worker may go without a heartbeat "
+            "before its job is requeued (default: 30)"
+        ),
+    )
+    service.add_argument(
+        "--worker-id",
+        default=None,
+        help="worker: fleet-unique name (default: <hostname>-<pid>)",
+    )
+    service.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="worker: idle seconds between lease attempts (default: 0.5)",
+    )
+    service.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="worker: exit after this many job attempts (default: run forever)",
     )
     service.add_argument(
         "--run", default=None, help="submit: registered experiment name to run as a job"
@@ -340,8 +383,29 @@ def _serve(args) -> int:
     from repro.analysis.parallel import worker_count
     from repro.service import Scheduler, serve
 
-    scheduler = Scheduler(workers=worker_count())
+    scheduler = Scheduler(
+        workers=0 if args.no_local_workers else worker_count(),
+        local=not args.no_local_workers,
+        max_queue_depth=args.max_queue_depth,
+        lease_timeout=args.lease_timeout,
+    )
     serve(scheduler, host=args.host, port=args.port)
+    return 0
+
+
+def _worker(args) -> int:
+    from repro.service import WorkerNode
+
+    node = WorkerNode(
+        _service_url(args),
+        worker_id=args.worker_id,
+        poll=args.poll,
+        announce=lambda line: print(line, flush=True),
+    )
+    try:
+        node.run(max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -443,6 +507,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "serve":
         return _serve(args)
+    if args.experiment == "worker":
+        return _worker(args)
     if args.experiment == "status":
         return _status(args)
 

@@ -24,3 +24,17 @@ class TraceFormatError(ReproError):
 class ServiceError(ReproError):
     """The experiment job service failed (HTTP transport, bad response,
     or a job that can no longer make progress)."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id the service has never seen (HTTP 404, not a fault)."""
+
+
+class BackpressureError(ServiceError):
+    """The job queue is at its configured depth limit; the submission
+    was rejected and should be retried later (HTTP 429)."""
+
+
+class StaleLeaseError(ServiceError):
+    """A lease id that is unknown, expired, or already released; the
+    worker holding it must abandon the attempt (HTTP 410)."""

@@ -42,6 +42,24 @@ WALL_CLOCK_CALLS = frozenset(
     }
 )
 
+#: Scopes where only *duration arithmetic* on the wall clock is banned:
+#: the service layer legitimately stamps display timestamps with
+#: ``time.time()``, but subtracting two of them measures a duration
+#: that jumps with every NTP step — durations must be monotonic.
+DURATION_SCOPES: Tuple[str, ...] = ("repro.service",)
+
+#: Clock sources that step under adjustment (unlike the monotonic family).
+ADJUSTABLE_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
 #: numpy.random constructors that are deterministic *when seeded*.
 _SEEDABLE_CONSTRUCTORS = frozenset(
     {
@@ -55,13 +73,28 @@ _SEEDABLE_CONSTRUCTORS = frozenset(
 )
 
 
+def _in_scope(module: str, scopes: Tuple[str, ...]) -> bool:
+    return any(
+        module == scope or module.startswith(scope + ".") for scope in scopes
+    )
+
+
 @register
 class WallClockRule(Rule):
     id = "REPRO101"
-    title = "no wall-clock reads in the deterministic core"
-    scopes = DETERMINISTIC_SCOPES
+    title = (
+        "no wall-clock reads in the deterministic core; no wall-clock "
+        "duration arithmetic in the service layer"
+    )
+    scopes = DETERMINISTIC_SCOPES + DURATION_SCOPES
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _in_scope(ctx.module, DETERMINISTIC_SCOPES):
+            yield from self._check_core(ctx)
+        elif _in_scope(ctx.module, DURATION_SCOPES):
+            yield from self._check_durations(ctx)
+
+    def _check_core(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -73,6 +106,37 @@ class WallClockRule(Rule):
                     f"wall-clock read `{name}()` makes simulation output "
                     "run-dependent; derive times from the simulation clock",
                 )
+
+    def _check_durations(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag adjustable-clock reads used as arithmetic operands.
+
+        ``time.time()`` alone (a display timestamp) is fine; the bug is
+        ``time.time() - started`` — a duration that steps whenever the
+        wall clock is adjusted.  Comparisons against deadlines built
+        from wall time are the same bug in disguise, so comparison
+        operands are flagged too.
+        """
+        for node in ast.walk(ctx.tree):
+            operands = []
+            if isinstance(node, ast.BinOp):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.AugAssign):
+                operands = [node.value]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+            for operand in operands:
+                if not isinstance(operand, ast.Call):
+                    continue
+                name = ctx.qualname(operand.func)
+                if name in ADJUSTABLE_CLOCK_CALLS:
+                    yield self.finding(
+                        ctx,
+                        operand,
+                        f"duration arithmetic on the adjustable clock "
+                        f"`{name}()` steps with every clock adjustment; "
+                        "use `time.monotonic()` for durations and keep "
+                        "wall time for display timestamps only",
+                    )
 
 
 @register

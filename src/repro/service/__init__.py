@@ -9,9 +9,15 @@ recovery), and stores every result content-addressed by the job's
 pipeline key — duplicate submissions coalesce into one computation and
 repeat clients get cache hits.
 
+Beyond the single process, the service scales out as a small cluster:
+remote :class:`WorkerNode` processes pull jobs from the coordinator
+over HTTP through a lease + heartbeat + requeue-on-expiry protocol,
+and a shared ``REPRO_ARTIFACT_DIR`` disk tier lets any node serve any
+cached result.
+
 Public surface::
 
-    from repro.service import Scheduler, ServiceClient, serve
+    from repro.service import Scheduler, ServiceClient, WorkerNode, serve
 
     scheduler = Scheduler(workers=2).start()
     job, deduped = scheduler.submit({"scene": "truc640", "scale": 0.125})
@@ -19,9 +25,12 @@ Public surface::
 
     serve(scheduler, port=8765)          # blocking HTTP server
     ServiceClient("http://127.0.0.1:8765").run({"experiment": "table1"})
+
+    WorkerNode("http://127.0.0.1:8765").run()   # one fleet member
 """
 
 from repro.service.jobs import (
+    DEFAULT_TENANT,
     DONE,
     FAILED,
     QUEUED,
@@ -37,11 +46,14 @@ from repro.service.jobs import (
 )
 from repro.service.client import ServiceClient
 from repro.service.http import ServiceHTTPServer, make_server, serve
+from repro.service.leases import Lease, LeaseManager
 from repro.service.queue import JobQueue
 from repro.service.results import RESULT_STAGE, ResultStore
 from repro.service.scheduler import Scheduler, SupervisedPool
+from repro.service.worker import WorkerNode, default_worker_id
 
 __all__ = [
+    "DEFAULT_TENANT",
     "DONE",
     "FAILED",
     "QUEUED",
@@ -52,12 +64,16 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobSpec",
+    "Lease",
+    "LeaseManager",
     "RESULT_STAGE",
     "ResultStore",
     "Scheduler",
     "ServiceClient",
     "ServiceHTTPServer",
     "SupervisedPool",
+    "WorkerNode",
+    "default_worker_id",
     "execute_payload",
     "make_server",
     "parse_submission",

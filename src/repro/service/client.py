@@ -55,6 +55,34 @@ class ServiceClient:
     def metrics(self) -> Dict:
         return self._request("GET", "/metrics")
 
+    # -- worker lease protocol ---------------------------------------
+
+    def lease(self, worker: str) -> Optional[Dict]:
+        """Pull the next job under a lease; ``None`` if the queue is empty."""
+        return self._request("POST", "/leases", body={"worker": worker})
+
+    def heartbeat(self, lease_id: str) -> Dict:
+        """Renew a lease; raises ``ServiceError`` (status 410) if stale."""
+        return self._request(
+            "POST", f"/leases/{quote(lease_id, safe='')}/heartbeat", body={}
+        )
+
+    def complete(self, lease_id: str, payload: Dict) -> Dict:
+        """Deliver a leased job's result payload; returns the job record."""
+        return self._request(
+            "POST", f"/leases/{quote(lease_id, safe='')}/complete", body=payload
+        )
+
+    def fail(self, lease_id: str, error: str) -> Dict:
+        """Report a leased job's execution failure; returns the job record."""
+        return self._request(
+            "POST", f"/leases/{quote(lease_id, safe='')}/fail", body={"error": error}
+        )
+
+    def leases(self) -> Dict:
+        """Active leases across the fleet (introspection)."""
+        return self._request("GET", "/leases")
+
     # -- conveniences ------------------------------------------------
 
     def wait(
@@ -83,7 +111,7 @@ class ServiceClient:
 
     # -- transport ---------------------------------------------------
 
-    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Optional[Dict]:
         request = urllib.request.Request(
             self.base_url + path,
             method=method,
@@ -92,13 +120,17 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                if response.status == 204:
+                    return None
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
             except Exception:
                 message = str(exc)
-            raise ServiceError(f"{method} {path}: {message}") from exc
+            error = ServiceError(f"{method} {path}: {message}")
+            error.status = exc.code  # lets callers branch on 410/429
+            raise error from exc
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"

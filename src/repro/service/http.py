@@ -4,20 +4,37 @@ Endpoints (all JSON):
 
 * ``POST /jobs`` — submit a job description; ``202`` with the job
   record (``409``-free: duplicates coalesce, the response carries
-  ``deduped: true``).  Invalid specs get ``400`` with an ``error``.
+  ``deduped: true``).  Invalid specs get ``400`` with an ``error``;
+  a queue at its configured depth limit gets ``429`` (backpressure —
+  retry later).
 * ``GET /jobs`` — every job the service knows about.
-* ``GET /jobs/<id>`` — one job's state-machine record.
+* ``GET /jobs/<id>`` — one job's state-machine record (404 unknown).
 * ``GET /results/<key>`` — the content-addressed result payload
-  (URL-quote the key; it contains ``/`` and ``#``).
+  (URL-quote the key; it contains ``/`` and ``#``); 404 if absent.
 * ``GET /healthz`` — liveness: status, workers, dispatcher threads.
-* ``GET /metrics`` — queue depth, jobs by state, retry/timeout/requeue
-  counters, result-store hit rate, per-stage pipeline stats, and the
-  ``obs`` metrics-registry snapshot (``service.*`` mirrors plus any
-  simulator-level ``cache.*``/``bus.*`` counters and ``span.*``
-  histograms recorded in this process).
+* ``GET /metrics`` — queue depth (total and per tenant), jobs by
+  state, retry/timeout/requeue/lease counters, result-store hit rate,
+  per-stage pipeline stats, and the ``obs`` metrics-registry snapshot.
+
+Worker-fleet endpoints (the lease protocol remote workers pull with):
+
+* ``POST /leases`` — body ``{"worker": "<name>"}``; ``200`` with the
+  lease document (id, job record, execution payload, timeout) or
+  ``204`` when the queue is empty.
+* ``POST /leases/<id>/heartbeat`` — renew the claim; ``410`` when the
+  lease is stale (the worker must abandon the attempt).
+* ``POST /leases/<id>/complete`` — body is the result payload; stores
+  it and finishes the job (``410`` if stale — the result is still
+  kept, it is content-addressed).
+* ``POST /leases/<id>/fail`` — body ``{"error": "..."}``; consumes
+  retry budget with delayed-requeue backoff.
+* ``GET /leases`` — active leases (introspection).
 
 The server is a ``ThreadingHTTPServer`` so slow pollers never block
-submissions; all actual work happens in the scheduler's dispatchers.
+submissions; all actual work happens in the scheduler's dispatchers
+and the remote workers.  A client dropping the connection mid-response
+(``BrokenPipeError``/``ConnectionResetError``) is counted into the
+``service.http.disconnects`` metric instead of spraying tracebacks.
 """
 
 from __future__ import annotations
@@ -27,7 +44,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import unquote
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    ReproError,
+    StaleLeaseError,
+    UnknownJobError,
+)
 from repro.service.scheduler import Scheduler
 
 
@@ -54,16 +77,33 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         pass
 
-    def _send(self, status: int, document) -> None:
-        body = json.dumps(document, indent=2).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    def _send(self, status: int, document, headers: Optional[dict] = None) -> None:
+        try:
+            body = json.dumps(document, indent=2).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The poller hung up mid-response; nothing to answer, just
+            # count it so /metrics shows flaky clients.
+            self.server.scheduler.registry.counter("service.http.disconnects").inc()
+            self.close_connection = True
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _no_content(self) -> None:
+        try:
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+        except (BrokenPipeError, ConnectionResetError):
+            self.server.scheduler.registry.counter("service.http.disconnects").inc()
+            self.close_connection = True
+
+    def _error(self, status: int, message: str, headers: Optional[dict] = None) -> None:
+        self._send(status, {"error": message}, headers=headers)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         scheduler = self.server.scheduler
@@ -75,6 +115,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, scheduler.metrics())
             elif path == "/jobs":
                 self._send(200, {"jobs": [job.to_json() for job in scheduler.jobs()]})
+            elif path == "/leases":
+                self._send(200, {"leases": scheduler.lease_snapshot()})
             elif path.startswith("/jobs/"):
                 job_id = unquote(path[len("/jobs/"):])
                 self._send(200, scheduler.job(job_id).to_json())
@@ -87,13 +129,14 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send(200, payload)
             else:
                 self._error(404, f"unknown path {path!r}")
-        except ReproError as exc:
+        except UnknownJobError as exc:
             self._error(404, str(exc))
+        except ReproError as exc:
+            # A real service fault, not a missing resource: say so.
+            self._error(500, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path.split("?", 1)[0] != "/jobs":
-            self._error(404, f"unknown path {self.path!r}")
-            return
+        path = self.path.split("?", 1)[0]
         try:
             length = int(self.headers.get("Content-Length", 0))
             payload = json.loads(self.rfile.read(length) or b"{}")
@@ -101,13 +144,69 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"invalid JSON body: {exc}")
             return
         try:
-            job, deduped = self.server.scheduler.submit(payload)
+            if path == "/jobs":
+                self._post_job(payload)
+            elif path == "/leases":
+                self._post_lease(payload)
+            elif path.startswith("/leases/"):
+                self._post_lease_action(path, payload)
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except BackpressureError as exc:
+            self._error(429, str(exc), headers={"Retry-After": "1"})
+        except StaleLeaseError as exc:
+            self._error(410, str(exc))
         except ConfigurationError as exc:
             self._error(400, str(exc))
-            return
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(500, str(exc))
+
+    def _post_job(self, payload: dict) -> None:
+        job, deduped = self.server.scheduler.submit(payload)
         document = job.to_json()
         document["deduped"] = deduped
         self._send(202, document)
+
+    def _post_lease(self, payload: dict) -> None:
+        worker = payload.get("worker") if isinstance(payload, dict) else None
+        if not isinstance(worker, str) or not worker.strip():
+            self._error(400, "a lease request needs a non-empty 'worker' name")
+            return
+        lease = self.server.scheduler.lease_next(worker.strip())
+        if lease is None:
+            self._no_content()
+            return
+        self._send(
+            200,
+            {
+                "lease_id": lease.id,
+                "timeout": lease.timeout,
+                "job": lease.job.to_json(),
+                "payload": lease.job.spec.to_payload(),
+            },
+        )
+
+    def _post_lease_action(self, path: str, payload: dict) -> None:
+        scheduler = self.server.scheduler
+        parts = [part for part in path.split("/") if part]
+        if len(parts) != 3 or parts[0] != "leases":
+            self._error(404, f"unknown path {path!r}")
+            return
+        lease_id, action = unquote(parts[1]), parts[2]
+        if action == "heartbeat":
+            lease = scheduler.heartbeat_lease(lease_id)
+            self._send(200, {"lease_id": lease.id, "timeout": lease.timeout})
+        elif action == "complete":
+            job = scheduler.complete_lease(lease_id, payload)
+            self._send(200, job.to_json())
+        elif action == "fail":
+            error = payload.get("error") if isinstance(payload, dict) else None
+            job = scheduler.fail_lease(lease_id, str(error or "worker failure"))
+            self._send(200, job.to_json())
+        else:
+            self._error(404, f"unknown lease action {action!r}")
 
 
 def make_server(

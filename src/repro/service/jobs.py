@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass, field
 from threading import Event
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.pipeline.keys import scene_key
@@ -50,7 +50,24 @@ _FAMILIES = ("block", "sli", "bands", "single")
 _CACHES = ("lru", "perfect", "none")
 
 #: Submission keys that configure scheduling rather than the computation.
-_OPTION_KEYS = ("priority", "timeout", "retries")
+_OPTION_KEYS = ("priority", "timeout", "retries", "tenant")
+
+#: Tenant jobs belong to when the submission names none.
+DEFAULT_TENANT = "default"
+
+# Clock seams (monkeypatchable in tests): wall time is for *display*
+# timestamps only; durations are always monotonic deltas so a clock
+# adjustment (NTP step, DST, manual set) can never corrupt them.
+_WALL_CLOCK: Callable[[], float] = time.time
+_MONOTONIC_CLOCK: Callable[[], float] = time.monotonic
+
+
+def _wall_now() -> float:
+    return _WALL_CLOCK()
+
+
+def _monotonic_now() -> float:
+    return _MONOTONIC_CLOCK()
 
 
 @dataclass(frozen=True)
@@ -183,13 +200,21 @@ def parse_submission(payload: Dict) -> Tuple[JobSpec, Dict]:
     """Split a submission into ``(spec, scheduling options)``.
 
     Options — ``priority`` (int, lower runs first), ``timeout``
-    (seconds per attempt) and ``retries`` (extra attempts after the
-    first) — affect scheduling only and stay out of the result key.
+    (seconds per attempt), ``retries`` (extra attempts after the
+    first) and ``tenant`` (fair-queuing bucket) — affect scheduling
+    only and stay out of the result key.
     """
     spec = spec_from_payload(payload)
     options: Dict = {}
     if "priority" in payload:
         options["priority"] = _integer(payload, "priority", default=0, minimum=None)
+    if "tenant" in payload:
+        tenant = payload["tenant"]
+        if not isinstance(tenant, str) or not tenant.strip():
+            raise ConfigurationError(
+                f"tenant must be a non-empty string, got {tenant!r}"
+            )
+        options["tenant"] = tenant.strip()
     if "timeout" in payload:
         timeout = _number(payload, "timeout", default=0.0)
         if timeout <= 0:
@@ -223,14 +248,20 @@ def _integer(payload: Dict, name: str, default: int, minimum: Optional[int]) -> 
 class Job:
     """One submitted request moving through the service's state machine.
 
-    ``queued → running → done | failed | timed-out``; a pool crash
-    sends a running job back to ``queued``.  Mutations happen under the
-    scheduler's lock; readers get consistent JSON via :meth:`to_json`.
+    ``queued → running → done | failed | timed-out``; a pool crash or
+    an expired worker lease sends a running job back to ``queued``.
+    Mutations happen under the scheduler's lock; readers get consistent
+    JSON via :meth:`to_json`.
+
+    The ``*_at`` fields are wall-clock timestamps for display only;
+    ``duration_seconds`` is a monotonic delta (first start → finish)
+    and stays correct across clock adjustments.
     """
 
     id: str
     spec: JobSpec
     priority: int = 0
+    tenant: str = DEFAULT_TENANT
     timeout: Optional[float] = None
     retries: int = 0
     state: str = QUEUED
@@ -238,20 +269,32 @@ class Job:
     requeues: int = 0
     cached: bool = False
     error: Optional[str] = None
-    created_at: float = field(default_factory=time.time)
+    created_at: float = field(default_factory=_wall_now)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    duration_seconds: Optional[float] = None
     result_key: str = ""
+    started_monotonic: Optional[float] = field(default=None, repr=False, compare=False)
     terminal: Event = field(default_factory=Event, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.result_key:
             self.result_key = self.spec.result_key()
 
+    def mark_started(self) -> None:
+        """Record the first dispatch: wall stamp for display, monotonic
+        mark for duration accounting (idempotent across requeues)."""
+        if self.started_at is None:
+            self.started_at = _wall_now()
+        if self.started_monotonic is None:
+            self.started_monotonic = _monotonic_now()
+
     def finish(self, state: str, error: Optional[str] = None) -> None:
         self.state = state
         self.error = error
-        self.finished_at = time.time()
+        self.finished_at = _wall_now()
+        if self.started_monotonic is not None:
+            self.duration_seconds = _monotonic_now() - self.started_monotonic
         self.terminal.set()
 
     def to_json(self) -> Dict:
@@ -261,6 +304,7 @@ class Job:
             "result_key": self.result_key,
             "spec": self.spec.to_payload(),
             "priority": self.priority,
+            "tenant": self.tenant,
             "timeout": self.timeout,
             "retries": self.retries,
             "attempts": self.attempts,
@@ -270,6 +314,7 @@ class Job:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "duration_seconds": self.duration_seconds,
         }
 
 

@@ -1,0 +1,136 @@
+"""Work leases for remote workers pulling jobs over HTTP.
+
+A worker that pulls a job gets a :class:`Lease`: a renewable claim on
+that job with a deadline.  While the worker keeps heartbeating, the
+claim holds; if heartbeats stop (worker crashed, network partition,
+OOM-killed container) the lease expires and the scheduler requeues the
+job at the front of its priority class — the same infrastructure-
+failure semantics the in-process pool gets from ``BrokenProcessPool``.
+
+All deadlines are **monotonic-clock** deltas: a wall-clock adjustment
+on the coordinator can never spuriously expire (or immortalize) a
+lease.  The manager is its own small lock domain; the scheduler calls
+into it without holding its job lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import StaleLeaseError
+from repro.service.jobs import Job
+
+
+@dataclass
+class Lease:
+    """One worker's renewable claim on one running job."""
+
+    id: str
+    job: Job
+    worker: str
+    timeout: float
+    granted_monotonic: float
+    expires_monotonic: float
+    heartbeats: int = field(default=0)
+
+    def remaining(self, now: float) -> float:
+        """Seconds until expiry (negative = already expired)."""
+        return self.expires_monotonic - now
+
+    def to_json(self, now: float) -> Dict:
+        return {
+            "lease_id": self.id,
+            "job_id": self.job.id,
+            "worker": self.worker,
+            "timeout": self.timeout,
+            "heartbeats": self.heartbeats,
+            "expires_in": self.remaining(now),
+        }
+
+
+class LeaseManager:
+    """Tracks active leases and harvests the expired ones."""
+
+    def __init__(
+        self,
+        timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout <= 0:
+            raise StaleLeaseError(f"lease timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: Dict[str, Lease] = {}
+        self._ids = itertools.count(1)
+
+    def grant(self, job: Job, worker: str) -> Lease:
+        """Create a lease on ``job`` for ``worker``."""
+        now = self._clock()
+        with self._lock:
+            lease = Lease(
+                id=f"lease-{next(self._ids)}",
+                job=job,
+                worker=worker,
+                timeout=self.timeout,
+                granted_monotonic=now,
+                expires_monotonic=now + self.timeout,
+            )
+            self._leases[lease.id] = lease
+            return lease
+
+    def heartbeat(self, lease_id: str) -> Lease:
+        """Extend a live lease's deadline; stale ids raise."""
+        now = self._clock()
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.remaining(now) <= 0:
+                raise StaleLeaseError(
+                    f"lease {lease_id!r} is unknown or expired; abandon the attempt"
+                )
+            lease.expires_monotonic = now + lease.timeout
+            lease.heartbeats += 1
+            return lease
+
+    def release(self, lease_id: str) -> Lease:
+        """Remove and return a live lease (worker completed/failed it)."""
+        now = self._clock()
+        with self._lock:
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                raise StaleLeaseError(
+                    f"lease {lease_id!r} is unknown or expired; abandon the attempt"
+                )
+            if lease.remaining(now) <= 0:
+                # Expired while the release request was in flight: the
+                # reaper may already have requeued the job elsewhere.
+                raise StaleLeaseError(
+                    f"lease {lease_id!r} expired before release; abandon the attempt"
+                )
+            return lease
+
+    def harvest_expired(self) -> List[Lease]:
+        """Remove and return every expired lease (reaper's tick)."""
+        now = self._clock()
+        with self._lock:
+            expired = [
+                lease for lease in self._leases.values() if lease.remaining(now) <= 0
+            ]
+            for lease in expired:
+                del self._leases[lease.id]
+            return expired
+
+    def active(self) -> List[Lease]:
+        """Live leases, oldest grant first (for ``GET /leases``)."""
+        with self._lock:
+            return sorted(
+                self._leases.values(), key=lambda lease: lease.granted_monotonic
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leases)

@@ -4,30 +4,47 @@ The :class:`Scheduler` owns the whole job lifecycle: submissions are
 validated into :class:`~repro.service.jobs.Job` records, coalesced on
 their content-addressed result key (a duplicate of a queued/running
 job attaches to it; a duplicate of a completed one is served from the
-result store), and dispatched from a priority queue onto either a
-supervised process pool (``workers >= 1``) or the dispatcher thread
-itself (``workers == 0``, inline mode).
+result store), and dispatched from a tenant-fair priority queue onto
+any mix of three execution backends:
+
+* a supervised in-process pool (``workers >= 1``);
+* the dispatcher thread itself (``workers == 0``, inline mode);
+* **remote worker nodes** pulling jobs over HTTP through the lease
+  protocol (:meth:`lease_next` / :meth:`heartbeat_lease` /
+  :meth:`complete_lease` / :meth:`fail_lease`), with ``local=False``
+  turning the scheduler into a pure coordinator.
 
 Failure semantics:
 
 * an attempt that raises is retried with exponential backoff up to the
-  job's retry budget, then the job is marked ``failed``;
+  job's retry budget, then the job is marked ``failed`` — remote
+  attempts use the same budget and backoff curve, but back off by
+  delaying the requeue instead of sleeping a dispatcher;
 * an attempt that exceeds the job's timeout marks the attempt
   timed-out and **restarts the pool** to reclaim the stuck worker
   (``ProcessPoolExecutor`` cannot cancel a running task), retrying
   within the same budget before the job ends ``timed-out``;
-* a worker process dying (``BrokenProcessPool``) restarts the pool and
-  requeues the in-flight job at the front of its priority class — an
+* a worker process dying (``BrokenProcessPool``) — or a remote
+  worker's **lease expiring** without a heartbeat — requeues the
+  in-flight job at the front of its priority class in FIFO order; an
   infrastructure failure does not consume the job's retry budget, but
-  repeated crashes (``max_requeues``) eventually fail the job instead
-  of poisoning the queue.
+  repeated ones (``max_requeues``) eventually fail the job instead of
+  poisoning the queue.
 
-Inline mode cannot preempt a running attempt, so per-job timeouts are
-only enforced with a process pool.
+``max_queue_depth`` bounds the fresh-submission backlog: past it,
+:meth:`submit` raises :class:`~repro.errors.BackpressureError` (the
+HTTP layer answers 429).  Duplicates of live jobs and result-store
+hits are never rejected — they add no queue pressure.
+
+All durations (uptime, job durations, lease deadlines, backoff
+schedules) are monotonic-clock deltas; wall-clock reads only produce
+display timestamps.  Inline mode cannot preempt a running attempt, so
+per-job timeouts are only enforced with a process pool.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
@@ -38,9 +55,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs, pipeline
 from repro.analysis.parallel import share_artifacts
-from repro.errors import ServiceError
+from repro.errors import (
+    BackpressureError,
+    ServiceError,
+    StaleLeaseError,
+    UnknownJobError,
+)
 from repro.obs.spans import span
 from repro.service.jobs import (
+    DEFAULT_TENANT,
     DONE,
     FAILED,
     QUEUED,
@@ -52,6 +75,7 @@ from repro.service.jobs import (
     execute_payload,
     parse_submission,
 )
+from repro.service.leases import Lease, LeaseManager
 from repro.service.queue import JobQueue
 from repro.service.results import ResultStore
 
@@ -102,7 +126,7 @@ class SupervisedPool:
 
 
 class Scheduler:
-    """The experiment job service: queue + worker pool + result store."""
+    """The experiment job service: queue + execution backends + results."""
 
     def __init__(
         self,
@@ -113,6 +137,10 @@ class Scheduler:
         backoff_factor: float = 2.0,
         backoff_max: float = 30.0,
         max_requeues: int = 3,
+        max_queue_depth: Optional[int] = None,
+        lease_timeout: float = 30.0,
+        local: bool = True,
+        reaper_interval: float = 0.05,
         results: Optional[ResultStore] = None,
         executor: Optional[Callable[[Dict], Dict]] = None,
         sleep: Callable[[float], None] = time.sleep,
@@ -120,6 +148,10 @@ class Scheduler:
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
         self.workers = workers
         self.default_timeout = default_timeout
         self.default_retries = default_retries
@@ -127,15 +159,25 @@ class Scheduler:
         self.backoff_factor = backoff_factor
         self.backoff_max = backoff_max
         self.max_requeues = max_requeues
+        self.max_queue_depth = max_queue_depth
+        self.local = local
+        self.reaper_interval = reaper_interval
         self.queue = JobQueue()
+        self.leases = LeaseManager(timeout=lease_timeout)
         self.results = results if results is not None else ResultStore()
         self._executor = executor if executor is not None else execute_payload
         self._sleep = sleep
-        self._pool = SupervisedPool(workers) if workers >= 1 else None
+        self._pool = SupervisedPool(workers) if workers >= 1 and local else None
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._live_by_key: Dict[str, Job] = {}
+        #: Remote-retry backlog: (ready_monotonic, tiebreak, job) heap
+        #: the reaper flushes back into the queue once backoff elapses.
+        self._delayed: List[Tuple[float, int, Job]] = []
+        #: worker name -> last-seen monotonic stamp (lease or heartbeat).
+        self._workers_seen: Dict[str, float] = {}
         self._ids = itertools.count(1)
+        self._delay_ids = itertools.count(1)
         self._counters = {
             "submitted": 0,
             "deduped": 0,
@@ -146,10 +188,15 @@ class Scheduler:
             "timeouts": 0,
             "pool_restarts": 0,
             "requeues": 0,
+            "rejected": 0,
+            "leases": 0,
+            "heartbeats": 0,
+            "lease_expiries": 0,
         }
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
-        self._started_at = time.time()
+        self._started_at = time.time()  # display timestamp only
+        self._started_monotonic = time.monotonic()
         #: Metrics registry mirror: every lifecycle counter also lands
         #: here as ``service.<name>``, next to the simulator-level
         #: series (cache.*, bus.*, span.*) the workers publish, so one
@@ -163,18 +210,25 @@ class Scheduler:
     # -- lifecycle ---------------------------------------------------
 
     def start(self) -> "Scheduler":
-        """Spawn the dispatcher threads (one per worker slot)."""
+        """Spawn the dispatcher threads (if executing locally) and the
+        lease/backoff reaper."""
         if self._threads:
             return self
         self._stop.clear()
-        for index in range(max(1, self.workers)):
-            thread = threading.Thread(
-                target=self._dispatch_loop,
-                name=f"repro-dispatch-{index}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+        if self.local:
+            for index in range(max(1, self.workers)):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-dispatch-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-lease-reaper", daemon=True
+        )
+        reaper.start()
+        self._threads.append(reaper)
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -194,7 +248,10 @@ class Scheduler:
         Duplicate of a live (queued/running) job → that job, ``True``.
         Duplicate of a stored result → a new job born ``done`` with the
         cached payload (a result-store hit).  Otherwise a fresh job is
-        queued.
+        queued — unless the queue already sits at ``max_queue_depth``,
+        in which case :class:`~repro.errors.BackpressureError` asks the
+        client to retry later (deduped and cached submissions are never
+        rejected: they add no queue pressure).
         """
         spec, options = parse_submission(payload)
         key = spec.result_key()
@@ -212,10 +269,18 @@ class Scheduler:
             if live is not None and live.state not in TERMINAL_STATES:
                 self._count("deduped")
                 return live, True
+            if not found and self.max_queue_depth is not None:
+                if len(self.queue) >= self.max_queue_depth:
+                    self._count("rejected")
+                    raise BackpressureError(
+                        f"queue depth {len(self.queue)} is at the limit "
+                        f"({self.max_queue_depth}); retry later"
+                    )
             job = Job(
                 id=f"job-{next(self._ids)}",
                 spec=spec,
                 priority=options.get("priority", 0),
+                tenant=options.get("tenant", DEFAULT_TENANT),
                 timeout=options.get("timeout", self.default_timeout),
                 retries=options.get("retries", self.default_retries),
             )
@@ -232,7 +297,7 @@ class Scheduler:
     def job(self, job_id: str) -> Job:
         with self._lock:
             if job_id not in self._jobs:
-                raise ServiceError(f"unknown job {job_id!r}")
+                raise UnknownJobError(f"unknown job {job_id!r}")
             return self._jobs[job_id]
 
     def jobs(self) -> List[Job]:
@@ -276,8 +341,7 @@ class Scheduler:
             return
         with self._lock:
             job.state = RUNNING
-            if job.started_at is None:
-                job.started_at = time.time()
+            job.mark_started()
         while True:
             with self._lock:
                 job.attempts += 1
@@ -320,6 +384,13 @@ class Scheduler:
             future = self._pool.submit(self._executor, payload)
             return future.result(timeout=job.timeout)
 
+    def _backoff_delay(self, attempts: int) -> float:
+        """Exponential backoff before attempt ``attempts + 1``."""
+        return min(
+            self.backoff_base * self.backoff_factor ** (attempts - 1),
+            self.backoff_max,
+        )
+
     def _backoff_or_finish(self, job: Job, state: str, error: str) -> bool:
         """Retry with backoff if budget remains; else finish. True = retry."""
         with self._lock:
@@ -330,11 +401,7 @@ class Scheduler:
                 return False
             self._count("retries")
             job.error = error  # visible while the retry is pending
-        delay = min(
-            self.backoff_base * self.backoff_factor ** (job.attempts - 1),
-            self.backoff_max,
-        )
-        self._sleep(delay)
+        self._sleep(self._backoff_delay(job.attempts))
         return True
 
     def _requeue_after_crash(self, job: Job) -> bool:
@@ -342,17 +409,24 @@ class Scheduler:
         self._pool.restart()
         with self._lock:
             self._count("pool_restarts")
-            job.requeues += 1
-            job.attempts -= 1  # the crashed attempt never really ran
-            if job.requeues > self.max_requeues:
-                self._count("failed")
-                self._finish(
-                    job, FAILED, "worker pool crashed repeatedly while running this job"
-                )
+            if not self._requeue_infrastructure_locked(
+                job, "worker pool crashed repeatedly while running this job"
+            ):
                 return False
-            self._count("requeues")
-            job.state = QUEUED
         self.queue.push(job, front=True)
+        return True
+
+    def _requeue_infrastructure_locked(self, job: Job, fail_error: str) -> bool:
+        """Shared crash/lease-expiry bookkeeping; caller holds the lock
+        and, on ``True``, pushes the job back to the queue front."""
+        job.requeues += 1
+        job.attempts -= 1  # the lost attempt never really ran
+        if job.requeues > self.max_requeues:
+            self._count("failed")
+            self._finish(job, FAILED, fail_error)
+            return False
+        self._count("requeues")
+        job.state = QUEUED
         return True
 
     def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
@@ -361,26 +435,157 @@ class Scheduler:
         if self._live_by_key.get(job.result_key) is job:
             del self._live_by_key[job.result_key]
 
+    # -- remote workers: lease / heartbeat / complete / fail ----------
+
+    def lease_next(self, worker: str) -> Optional[Lease]:
+        """Hand the next queued job to a remote worker under a lease.
+
+        Returns ``None`` when the queue is empty.  Jobs whose result
+        appeared while they sat queued are finished as cache hits and
+        skipped, same as the local dispatch path.
+        """
+        while True:
+            job = self.queue.pop(timeout=0)
+            if job is None:
+                return None
+            found, _payload = self.results.peek(job.result_key)
+            if found:
+                with self._lock:
+                    job.cached = True
+                    self._finish(job, DONE)
+                continue
+            with self._lock:
+                job.state = RUNNING
+                job.mark_started()
+                job.attempts += 1
+                self._count("leases")
+                self._workers_seen[worker] = time.monotonic()
+            lease = self.leases.grant(job, worker)
+            self.registry.counter("service.leases").labels(worker=worker).inc()
+            self.registry.gauge("service.leases_active").set(len(self.leases))
+            return lease
+
+    def heartbeat_lease(self, lease_id: str) -> Lease:
+        """Renew a worker's claim; stale leases raise ``StaleLeaseError``."""
+        lease = self.leases.heartbeat(lease_id)
+        with self._lock:
+            self._count("heartbeats")
+            self._workers_seen[lease.worker] = time.monotonic()
+        self.registry.counter("service.heartbeats").labels(worker=lease.worker).inc()
+        return lease
+
+    def complete_lease(self, lease_id: str, payload: Dict) -> Job:
+        """A worker delivered its result: store it and finish the job.
+
+        The result is stored even if the lease went stale in flight —
+        it is content-addressed, so a duplicate execution elsewhere
+        will coalesce on it — but a stale lease still raises so the
+        worker knows its claim was lost.
+        """
+        try:
+            lease = self.leases.release(lease_id)
+        except StaleLeaseError:
+            key = payload.get("key") if isinstance(payload, dict) else None
+            if key:
+                self.results.put(key, payload)
+            raise
+        self.results.put(lease.job.result_key, payload)
+        with self._lock:
+            self._count("completed")
+            self._finish(lease.job, DONE)
+        self.registry.gauge("service.leases_active").set(len(self.leases))
+        return lease.job
+
+    def fail_lease(self, lease_id: str, error: str) -> Job:
+        """A worker's attempt raised: consume retry budget with backoff.
+
+        Unlike the local path the coordinator cannot sleep a dispatcher,
+        so the retry is **delayed**: the job re-enters the queue once
+        its backoff elapses (the reaper flushes it).
+        """
+        lease = self.leases.release(lease_id)
+        job = lease.job
+        with self._lock:
+            if job.attempts > job.retries:
+                self._count("failed")
+                self._finish(job, FAILED, error)
+            else:
+                self._count("retries")
+                job.error = error  # visible while the retry is pending
+                job.state = QUEUED
+                ready = time.monotonic() + self._backoff_delay(job.attempts)
+                heapq.heappush(self._delayed, (ready, next(self._delay_ids), job))
+        self.registry.gauge("service.leases_active").set(len(self.leases))
+        return job
+
+    def _reaper_loop(self) -> None:
+        """Requeue jobs of expired leases and flush elapsed backoffs."""
+        while not self._stop.is_set():
+            self._reap_once()
+            self._stop.wait(self.reaper_interval)
+
+    def _reap_once(self) -> None:
+        for lease in self.leases.harvest_expired():
+            requeue = False
+            with self._lock:
+                self._count("lease_expiries")
+                requeue = self._requeue_infrastructure_locked(
+                    lease.job,
+                    f"lease expired repeatedly (last worker: {lease.worker})",
+                )
+            if requeue:
+                self.queue.push(lease.job, front=True)
+        self.registry.gauge("service.leases_active").set(len(self.leases))
+        now = time.monotonic()
+        ready: List[Job] = []
+        with self._lock:
+            while self._delayed and self._delayed[0][0] <= now:
+                _ready_at, _tiebreak, job = heapq.heappop(self._delayed)
+                ready.append(job)
+        for job in ready:
+            self.queue.push(job)  # a retry, not an infra failure: back lane
+
     # -- introspection -----------------------------------------------
+
+    def lease_snapshot(self) -> List[Dict]:
+        """Active leases as JSON records (the ``GET /leases`` document)."""
+        now = time.monotonic()
+        return [lease.to_json(now) for lease in self.leases.active()]
 
     def metrics(self) -> Dict:
         """The `/metrics` document: queue, states, counters, stores,
-        plus the obs registry (service.* mirrors, simulator-level
-        cache/bus counters and span histograms)."""
+        leases, plus the obs registry (service.* mirrors, simulator-
+        level cache/bus counters and span histograms)."""
         with self._lock:
             by_state = {state: 0 for state in STATES}
             for job in self._jobs.values():
                 by_state[job.state] += 1
             counters = dict(self._counters)
+            delayed = len(self._delayed)
+            workers_seen = len(self._workers_seen)
         self.registry.gauge("service.queue_depth").set(len(self.queue))
+        tenants = self.queue.tenant_depths()
+        for tenant, depth in tenants.items():
+            self.registry.gauge("service.queue_depth").labels(tenant=tenant).set(depth)
         for state, count in by_state.items():
             self.registry.gauge("service.jobs").labels(state=state).set(count)
+        self.registry.gauge("service.workers_known").set(workers_seen)
         return {
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "started_at": self._started_at,
             "workers": self.workers,
+            "local_execution": self.local,
             "queue_depth": len(self.queue),
+            "max_queue_depth": self.max_queue_depth,
+            "tenants": tenants,
+            "delayed_retries": delayed,
             "jobs": by_state,
             "counters": counters,
+            "leases": {
+                "active": len(self.leases),
+                "timeout": self.leases.timeout,
+                "workers_known": workers_seen,
+            },
             "result_store": self.results.snapshot(),
             "pipeline": pipeline.stats(),
             "obs": self.registry.snapshot(),
@@ -390,6 +595,7 @@ class Scheduler:
         return {
             "status": "ok",
             "workers": self.workers,
+            "local_execution": self.local,
             "dispatchers": sum(thread.is_alive() for thread in self._threads),
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
         }

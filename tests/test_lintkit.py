@@ -75,6 +75,32 @@ def test_repro101_ignores_out_of_scope_modules():
     assert rule_ids(src, module="repro.scripts.fake") == []
 
 
+def test_repro101_flags_wall_clock_duration_arithmetic_in_service():
+    src = """\
+        import time
+
+        def elapsed(started):
+            return time.time() - started
+
+        def expired(deadline):
+            return time.time() >= deadline
+    """
+    assert rule_ids(src, module="repro.service.fake") == ["REPRO101", "REPRO101"]
+
+
+def test_repro101_allows_display_stamps_and_monotonic_durations_in_service():
+    src = """\
+        import time
+
+        def stamp():
+            return time.time()
+
+        def elapsed(started_monotonic):
+            return time.monotonic() - started_monotonic
+    """
+    assert rule_ids(src, module="repro.service.fake") == []
+
+
 def test_repro102_flags_global_random_calls():
     src = """\
         import random

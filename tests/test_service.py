@@ -3,7 +3,10 @@
 Covers the job state machine (queued → running → done/failed/timed-out),
 retry/backoff scheduling with an injected fake clock, duplicate-submission
 coalescing on the content-addressed result key, HTTP endpoint round trips
-against an ephemeral server, and worker-pool crash recovery.
+against an ephemeral server, worker-pool crash recovery, and the cluster
+machinery: FIFO requeue ordering, tenant-fair queuing, monotonic duration
+accounting, backpressure, client-disconnect handling, and the remote
+worker lease/heartbeat/requeue-on-expiry protocol.
 """
 
 from __future__ import annotations
@@ -11,26 +14,37 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
+import struct
 import threading
 import time
 from pathlib import Path
 
 import pytest
 
-from repro import pipeline
+from repro import obs, pipeline
 from repro.analysis.experiments.registry import EXPERIMENTS
 from repro.cli import main
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    ServiceError,
+    SimulationError,
+    StaleLeaseError,
+)
 from repro.service import (
     DONE,
     FAILED,
     QUEUED,
+    RUNNING,
     TIMED_OUT,
     Job,
     JobQueue,
+    LeaseManager,
     ResultStore,
     Scheduler,
     ServiceClient,
+    WorkerNode,
     make_server,
     parse_submission,
     spec_from_payload,
@@ -171,6 +185,67 @@ class TestJobQueue:
         queue = JobQueue()
         assert queue.pop(timeout=0.01) is None
         assert len(queue) == 0
+
+    def test_requeued_jobs_replay_fifo(self):
+        """Regression: interleaved requeues must replay in FIFO order.
+
+        The old front-sequence counted downward, so a later requeue
+        sorted *before* an earlier one (LIFO) — starvation-prone once
+        lease expiries make requeues routine.
+        """
+        queue = JobQueue()
+        fresh = self._job(0)
+        requeued = []
+        for index in range(3):
+            job = self._job(0)
+            job.id = f"j-requeue-{index}"
+            requeued.append(job)
+        queue.push(requeued[0], front=True)
+        queue.push(fresh)
+        queue.push(requeued[1], front=True)
+        queue.push(requeued[2], front=True)
+        order = [queue.pop().id for _ in range(4)]
+        assert order == [job.id for job in requeued] + [fresh.id]
+        # snapshot agrees with dispatch order here (single tenant).
+        for job in requeued + [fresh]:
+            queue.push(job, front=job is not fresh)
+        assert [job.id for job in queue.snapshot()][:3] == [
+            job.id for job in requeued
+        ]
+
+    def _tenant_job(self, name, tenant, priority=0):
+        job = self._job(priority)
+        job.id = name
+        job.tenant = tenant
+        return job
+
+    def test_tenants_round_robin_within_a_priority(self):
+        """One tenant flooding the queue cannot starve the others."""
+        queue = JobQueue()
+        for job in (
+            self._tenant_job("a1", "alice"),
+            self._tenant_job("a2", "alice"),
+            self._tenant_job("a3", "alice"),
+            self._tenant_job("b1", "bob"),
+            self._tenant_job("c1", "carol"),
+        ):
+            queue.push(job)
+        order = [queue.pop().id for _ in range(5)]
+        assert order == ["a1", "b1", "c1", "a2", "a3"]
+        assert queue.pop(timeout=0) is None
+
+    def test_priority_beats_tenant_fairness(self):
+        queue = JobQueue()
+        queue.push(self._tenant_job("a1", "alice", priority=0))
+        queue.push(self._tenant_job("b1", "bob", priority=-1))
+        assert queue.pop().id == "b1"
+
+    def test_tenant_depths(self):
+        queue = JobQueue()
+        queue.push(self._tenant_job("a1", "alice"))
+        queue.push(self._tenant_job("a2", "alice"))
+        queue.push(self._tenant_job("b1", "bob"), front=True)
+        assert queue.tenant_depths() == {"alice": 2, "bob": 1}
 
 
 class TestResultStore:
@@ -437,3 +512,380 @@ class TestPoolRecovery:
         assert counters["timeouts"] == 1
         # The stuck worker was reclaimed by restarting the pool.
         assert counters["pool_restarts"] >= 1
+
+
+class TestDurations:
+    """Durations are monotonic deltas; wall time is display-only."""
+
+    @pytest.fixture
+    def clocks(self, monkeypatch):
+        from repro.service import jobs as jobs_module
+
+        wall = {"t": 1_700_000_000.0}
+        mono = {"t": 50.0}
+        monkeypatch.setattr(jobs_module, "_WALL_CLOCK", lambda: wall["t"])
+        monkeypatch.setattr(jobs_module, "_MONOTONIC_CLOCK", lambda: mono["t"])
+        return wall, mono
+
+    def test_duration_survives_a_backwards_clock_step(self, clocks):
+        wall, mono = clocks
+        job = Job(id="j", spec=spec_from_payload({"experiment": "table1"}))
+        job.mark_started()
+        wall["t"] -= 3600.0  # NTP steps the wall clock back one hour
+        mono["t"] += 2.5
+        job.finish(DONE)
+        assert job.duration_seconds == 2.5
+        # The wall-clock delta would have claimed a negative duration.
+        assert job.finished_at - job.started_at < 0
+        assert job.to_json()["duration_seconds"] == 2.5
+
+    def test_mark_started_is_idempotent_across_requeues(self, clocks):
+        wall, mono = clocks
+        job = Job(id="j", spec=spec_from_payload({"experiment": "table1"}))
+        job.mark_started()
+        first_wall, first_mono = job.started_at, job.started_monotonic
+        wall["t"] += 10.0
+        mono["t"] += 10.0
+        job.mark_started()  # a requeue re-dispatches the same job
+        assert (job.started_at, job.started_monotonic) == (first_wall, first_mono)
+
+    def test_unstarted_job_has_no_duration(self, clocks):
+        job = Job(id="j", spec=spec_from_payload({"experiment": "table1"}))
+        job.finish(DONE)  # a pure cache hit never ran
+        assert job.duration_seconds is None
+
+    def test_uptime_is_monotonic(self, make_scheduler):
+        scheduler = make_scheduler(workers=0)
+        scheduler._started_monotonic -= 7.0
+        assert scheduler.metrics()["uptime_seconds"] >= 7.0
+        assert scheduler.healthz()["uptime_seconds"] >= 7.0
+
+
+class TestBackpressure:
+    def test_submit_rejects_past_queue_depth(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler = make_scheduler(workers=0, max_queue_depth=1)  # not started
+        scheduler.submit({"experiment": echo_experiment, "scale": 0.5})
+        with pytest.raises(BackpressureError, match="retry later"):
+            scheduler.submit({"experiment": echo_experiment, "scale": 0.25})
+        assert scheduler.metrics()["counters"]["rejected"] == 1
+
+    def test_duplicates_and_cache_hits_bypass_backpressure(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler = make_scheduler(workers=0, max_queue_depth=1)
+        scheduler.results.put(
+            spec_from_payload({"experiment": echo_experiment, "scale": 0.125}).result_key(),
+            {"text": "cached"},
+        )
+        first, _ = scheduler.submit({"experiment": echo_experiment, "scale": 0.5})
+        # A duplicate of the live job coalesces instead of rejecting.
+        dup, deduped = scheduler.submit({"experiment": echo_experiment, "scale": 0.5})
+        assert deduped and dup is first
+        # A stored result is served even with the queue full.
+        hit, _ = scheduler.submit({"experiment": echo_experiment, "scale": 0.125})
+        assert hit.state == DONE and hit.cached
+
+    def test_http_answers_429(self, isolated_store, make_scheduler, echo_experiment):
+        scheduler = make_scheduler(workers=0, max_queue_depth=1)  # not started
+        server = make_server(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+            client.submit({"experiment": echo_experiment, "scale": 0.5})
+            with pytest.raises(ServiceError, match="retry later") as info:
+                client.submit({"experiment": echo_experiment, "scale": 0.25})
+            assert info.value.status == 429
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestHTTPErrorMapping:
+    def test_unknown_job_is_404_but_a_fault_is_500(self, http_service):
+        client, scheduler, _experiment = http_service
+        with pytest.raises(ServiceError, match="unknown job") as info:
+            client.job("job-404")
+        assert info.value.status == 404
+
+        def broken_metrics():
+            raise SimulationError("the scheduler tripped over itself")
+
+        original = scheduler.metrics
+        scheduler.metrics = broken_metrics
+        try:
+            with pytest.raises(ServiceError, match="tripped over itself") as info:
+                client.metrics()
+            assert info.value.status == 500
+        finally:
+            scheduler.metrics = original
+
+    def test_client_disconnect_is_counted_not_crashed(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        registry = obs.MetricsRegistry()
+        scheduler = make_scheduler(workers=0, registry=registry)
+        server = make_server(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        gate = threading.Event()
+        original = scheduler.metrics
+
+        def blocked_metrics():
+            gate.wait(5.0)
+            return original()
+
+        scheduler.metrics = blocked_metrics
+        try:
+            raw = socket.create_connection(server.server_address[:2], timeout=5.0)
+            raw.sendall(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            # RST on close so the handler's write fails immediately.
+            raw.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            raw.close()
+            time.sleep(0.1)
+            gate.set()  # now the handler writes into the dead socket
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if registry.counter("service.http.disconnects").value >= 1:
+                    break
+                time.sleep(0.05)
+            assert registry.counter("service.http.disconnects").value >= 1
+            # The server is still healthy for the next client.
+            assert ServiceClient(server.url).healthz()["status"] == "ok"
+        finally:
+            scheduler.metrics = original
+            server.shutdown()
+            server.server_close()
+
+
+class FakeMonotonic:
+    def __init__(self, start: float = 100.0) -> None:
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class TestLeaseLifecycle:
+    """Two remote workers against one coordinator, fake lease clock."""
+
+    def _coordinator(self, make_scheduler, **kwargs):
+        # A private registry: worker-labeled counters must not leak
+        # between tests that reuse worker names.
+        scheduler = make_scheduler(
+            workers=0, local=False, registry=obs.MetricsRegistry(), **kwargs
+        )
+        clock = FakeMonotonic()
+        scheduler.leases = LeaseManager(timeout=5.0, clock=clock.now)
+        return scheduler, clock
+
+    def test_lease_heartbeat_expiry_requeue(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler, clock = self._coordinator(make_scheduler)
+        job1, _ = scheduler.submit({"experiment": echo_experiment, "scale": 0.5})
+        job2, _ = scheduler.submit({"experiment": echo_experiment, "scale": 0.25})
+
+        lease1 = scheduler.lease_next("alpha")
+        lease2 = scheduler.lease_next("beta")
+        assert (lease1.job, lease2.job) == (job1, job2)
+        assert job1.state == RUNNING and job1.attempts == 1
+        assert scheduler.lease_next("gamma") is None
+
+        # alpha keeps heartbeating past the original deadline; beta
+        # goes silent and its lease expires.
+        clock.advance(3.0)
+        scheduler.heartbeat_lease(lease1.id)
+        clock.advance(3.0)  # t=106: beta expired at 105, alpha alive to 108
+        scheduler._reap_once()
+        assert job2.state == QUEUED and job2.requeues == 1
+        assert job2.attempts == 0  # infrastructure loss, not a retry
+        with pytest.raises(StaleLeaseError):
+            scheduler.heartbeat_lease(lease2.id)
+
+        # alpha delivers job1, then picks up the requeued job2.
+        scheduler.complete_lease(
+            lease1.id, {"key": job1.result_key, "text": "one"}
+        )
+        assert job1.state == DONE
+        lease3 = scheduler.lease_next("alpha")
+        assert lease3.job is job2
+        scheduler.complete_lease(
+            lease3.id, {"key": job2.result_key, "text": "two"}
+        )
+        assert job2.state == DONE
+        assert scheduler.result(job2.result_key)["text"] == "two"
+
+        counters = scheduler.metrics()["counters"]
+        assert counters["leases"] == 3
+        assert counters["lease_expiries"] == 1
+        assert counters["requeues"] == 1
+        assert counters["completed"] == 2
+        assert counters["heartbeats"] == 1
+        snapshot = scheduler.registry.snapshot()["counters"]
+        assert snapshot["service.leases{worker=alpha}"] == 2
+        assert snapshot["service.leases{worker=beta}"] == 1
+
+    def test_expired_leases_requeue_in_fifo_order(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        """Three in-flight jobs lost at once replay oldest-first."""
+        scheduler, clock = self._coordinator(make_scheduler)
+        jobs = [
+            scheduler.submit({"experiment": echo_experiment, "scale": scale})[0]
+            for scale in (0.5, 0.25, 0.125)
+        ]
+        for worker in ("w1", "w2", "w3"):
+            scheduler.lease_next(worker)
+        clock.advance(6.0)
+        scheduler._reap_once()
+        assert [job.state for job in jobs] == [QUEUED] * 3
+        replay = [scheduler.lease_next("w1").job for _ in range(3)]
+        assert replay == jobs
+
+    def test_worker_failure_consumes_retry_budget_with_delay(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler, _clock = self._coordinator(
+            make_scheduler, backoff_base=0.01, backoff_factor=1.0
+        )
+        job, _ = scheduler.submit(
+            {"experiment": echo_experiment, "scale": 0.5, "retries": 1}
+        )
+        lease = scheduler.lease_next("alpha")
+        failed = scheduler.fail_lease(lease.id, "tile went missing")
+        assert failed.state == QUEUED and failed.error == "tile went missing"
+        assert scheduler.metrics()["delayed_retries"] == 1
+        assert scheduler.lease_next("alpha") is None  # still backing off
+        time.sleep(0.05)
+        scheduler._reap_once()
+        lease = scheduler.lease_next("alpha")
+        assert lease is not None and lease.job is job and job.attempts == 2
+        done = scheduler.fail_lease(lease.id, "tile went missing again")
+        assert done.state == FAILED and "again" in done.error
+        assert scheduler.metrics()["counters"]["retries"] == 1
+
+    def test_stale_completion_still_stores_the_result(
+        self, isolated_store, make_scheduler, echo_experiment
+    ):
+        scheduler, clock = self._coordinator(make_scheduler)
+        job, _ = scheduler.submit({"experiment": echo_experiment, "scale": 0.5})
+        lease = scheduler.lease_next("alpha")
+        clock.advance(6.0)
+        scheduler._reap_once()  # expired: the job went back to the queue
+        with pytest.raises(StaleLeaseError):
+            scheduler.complete_lease(
+                lease.id, {"key": job.result_key, "text": "late but right"}
+            )
+        # The content-addressed result was kept; the requeued job
+        # coalesces on it at its next dispatch instead of recomputing.
+        next_lease = scheduler.lease_next("beta")
+        assert next_lease is None
+        assert job.state == DONE and job.cached
+        assert scheduler.result(job.result_key)["text"] == "late but right"
+
+
+@pytest.fixture
+def coordinator(isolated_store, make_scheduler, echo_experiment):
+    """A started remote-only coordinator behind a live HTTP server."""
+    scheduler = make_scheduler(
+        workers=0,
+        local=False,
+        lease_timeout=5.0,
+        reaper_interval=0.02,
+        registry=obs.MetricsRegistry(),
+    ).start()
+    server = make_server(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(server.url), scheduler, echo_experiment
+    server.shutdown()
+    server.server_close()
+
+
+class TestLeaseProtocolHTTP:
+    def test_full_round_trip(self, coordinator):
+        client, scheduler, experiment = coordinator
+        assert client.lease("w1") is None  # 204: nothing queued
+        job = client.submit({"experiment": experiment, "scale": SCALE})
+        lease = client.lease("w1")
+        assert lease["job"]["id"] == job["id"]
+        assert lease["payload"] == {"experiment": experiment, "scale": SCALE}
+        assert client.heartbeat(lease["lease_id"])["lease_id"] == lease["lease_id"]
+        listing = client.leases()["leases"]
+        assert [entry["worker"] for entry in listing] == ["w1"]
+        record = client.complete(
+            lease["lease_id"], {"key": job["result_key"], "text": "over http"}
+        )
+        assert record["state"] == DONE
+        assert client.result(job["result_key"])["text"] == "over http"
+        assert client.leases()["leases"] == []
+        with pytest.raises(ServiceError) as info:
+            client.heartbeat(lease["lease_id"])
+        assert info.value.status == 410
+
+    def test_lease_requires_a_worker_name(self, coordinator):
+        client, _scheduler, _experiment = coordinator
+        with pytest.raises(ServiceError, match="worker"):
+            client._request("POST", "/leases", body={})
+
+    def test_fail_over_http_exhausts_the_budget(self, coordinator):
+        client, _scheduler, experiment = coordinator
+        job = client.submit(
+            {"experiment": experiment, "scale": SCALE, "retries": 0}
+        )
+        lease = client.lease("w1")
+        record = client.fail(lease["lease_id"], "worker exploded")
+        assert record["state"] == FAILED and "exploded" in record["error"]
+        done = client.job(job["id"])
+        assert done["state"] == FAILED
+
+
+class TestWorkerNode:
+    def test_worker_completes_jobs_end_to_end(self, coordinator):
+        client, scheduler, experiment = coordinator
+        first = client.submit({"experiment": experiment, "scale": 0.5})
+        second = client.submit({"experiment": experiment, "scale": 0.25})
+        node = WorkerNode(client.base_url, worker_id="node-a", poll=0.02)
+        assert node.run(max_jobs=2) == 2
+        assert client.job(first["id"])["state"] == DONE
+        assert client.job(second["id"])["state"] == DONE
+        assert client.result(first["result_key"])["text"] == "echo@0.5"
+        snapshot = client.metrics()["obs"]["counters"]
+        assert snapshot["service.leases{worker=node-a}"] == 2
+        assert scheduler.metrics()["counters"]["lease_expiries"] == 0
+
+    def test_worker_reports_execution_failures(self, coordinator):
+        client, _scheduler, experiment = coordinator
+        job = client.submit(
+            {"experiment": experiment, "scale": 0.5, "retries": 0}
+        )
+
+        def explode(payload):
+            raise RuntimeError("texel bus meltdown")
+
+        node = WorkerNode(
+            client.base_url, worker_id="node-b", poll=0.02, executor=explode
+        )
+        node.run(max_jobs=1)
+        assert node.failed == 1 and node.completed == 0
+        record = client.job(job["id"])
+        assert record["state"] == FAILED and "meltdown" in record["error"]
+
+    def test_tenant_option_flows_to_the_job(self, coordinator):
+        client, _scheduler, experiment = coordinator
+        job = client.submit(
+            {"experiment": experiment, "scale": SCALE, "tenant": "render-team"}
+        )
+        assert job["tenant"] == "render-team"
+        metrics = client.metrics()
+        assert metrics["tenants"] == {"render-team": 1}
+        with pytest.raises(ServiceError, match="tenant"):
+            client.submit({"experiment": experiment, "tenant": "  "})
