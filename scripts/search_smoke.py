@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI smoke test for the auto-search pipeline over a worker cluster.
+
+Boots a pure coordinator (``serve --no-local-workers``) plus two
+``repro-experiments worker`` processes sharing one
+``REPRO_ARTIFACT_DIR`` disk tier, then drives a tiny successive-halving
+search (≤ 8 trials at a reduced ``REPRO_SCALE``) through
+``POST /searches`` and asserts the experiment-framework story:
+
+1. the search finishes ``done`` with every trial executed by the
+   remote workers through the normal job queue;
+2. the shared :class:`~repro.expfw.archive.RunArchive` contains the
+   archived search report, the winning configuration's trial record,
+   and a record for **every** trial the report lists;
+3. replaying the winning record from a fresh process reproduces its
+   metrics bit-identically.
+
+    PYTHONPATH=src python scripts/search_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.expfw import RunArchive, replay_record  # noqa: E402
+from repro.pipeline.store import ArtifactStore  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.0625"))
+MAX_TRIALS = 5  # per strategy wave cap; halving adds survivor rungs (≤ 8 total)
+WORKER_IDS = ("w1", "w2")
+
+SEARCH = {
+    "experiment": "fig7",
+    "budget": 1e12,
+    "unit": "cycles",
+    "strategy": "halving",
+    "seed": 11,
+    "max_trials": MAX_TRIALS,
+    "rungs": 2,
+    "wave": 4,
+    "overrides": {"scale": SCALE},
+}
+
+
+def _spawn(argv, env):
+    return subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    processes = []
+    with tempfile.TemporaryDirectory(prefix="repro-search-") as shared:
+        env["REPRO_ARTIFACT_DIR"] = shared
+        coordinator = _spawn(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0",
+                "--no-local-workers",
+                "--max-queue-depth", "64",
+            ],
+            env,
+        )
+        processes.append(coordinator)
+        try:
+            banner = coordinator.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), f"bad banner: {banner!r}"
+            url = banner.split("serving on ", 1)[1]
+            client = ServiceClient(url)
+
+            for worker_id in WORKER_IDS:
+                processes.append(
+                    _spawn(
+                        [
+                            sys.executable, "-m", "repro.cli", "worker",
+                            "--url", url,
+                            "--worker-id", worker_id,
+                            "--poll", "0.1",
+                        ],
+                        env,
+                    )
+                )
+
+            record = client.start_search(SEARCH)
+            assert record["state"] == "running", record
+            done = client.wait_search(record["id"], timeout=600)
+            assert done["state"] == "done", done
+            assert 0 < done["trials"] <= 8, done
+            print(
+                f"search smoke: {done['trials']} trial(s) through "
+                f"{len(WORKER_IDS)} workers — winner {done['winner']['point']}"
+            )
+
+            metrics = client.metrics()
+            counters = metrics["counters"]
+            assert counters["searches_completed"] == 1, counters
+            assert counters["completed"] >= 1, counters  # workers ran trials
+            assert counters["submitted"] >= done["trials"], counters
+
+            # The shared archive holds the report, the winner, and
+            # every trial record the report lists.
+            archive = RunArchive(
+                root=Path(shared) / "expfw-runs",
+                store=ArtifactStore(max_entries=64),
+            )
+            report = archive.get(done["report_key"])
+            assert report["winner"]["point"] == done["winner"]["point"], report
+            winner_record = archive.get(report["winner"]["record_key"])
+            assert winner_record["kind"] == "trial", winner_record
+            for key in report["trials"]:
+                trial = archive.get(key)
+                assert trial["metrics"].get("cycles", 0) > 0, trial
+            assert len(report["trials"]) == done["trials"], report
+            print(
+                f"search smoke: archive OK — report + winner + "
+                f"{len(report['trials'])} trial record(s) in {shared}"
+            )
+
+            # Replay the winner from a fresh process, bit-identically.
+            replayed = replay_record(winner_record)
+            assert replayed.ok, replayed.summary()
+            assert replayed.metrics == winner_record["metrics"]
+            print(f"search smoke: OK — {replayed.summary()}")
+            return 0
+        finally:
+            for proc in processes:
+                proc.terminate()
+            for proc in processes:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,25 @@
-"""Figure 5: load imbalance and perfect-cache speedup."""
+"""Figure 5: load imbalance and perfect-cache speedup.
+
+Both experiments are declared as :class:`~repro.expfw.spec.ExperimentSpec`
+objects: the parameter space (family, processors, scene, scale) replaces
+the hand-rolled ``block``/``sli`` registration lambdas, and the
+``family`` panel axis reproduces the legacy two-panel CLI text
+byte-for-byte.
+"""
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.analysis.experiments.common import ALL_PROCESSOR_COUNTS, FAMILY_ROW_LABEL, family_sizes
-from repro.analysis.experiments.registry import register
 from repro.analysis.load_balance import imbalance_sweep
 from repro.analysis.performance import SpeedupStudy
 from repro.analysis.tables import format_series, format_table
+from repro.expfw.params import Param, ParamSpace
+from repro.expfw.spec import ExperimentSpec, RunResult, TrialTemplate, register_spec
 from repro.workloads import SCENE_NAMES, build_scene
+
+FAMILIES = ("block", "sli")
 
 
 def fig5_imbalance(family: str, scale: float, processors: int = 64) -> str:
@@ -39,9 +51,58 @@ def fig5_speedup(family: str, scale: float, scene_name: str = "massive32_1255") 
     )
 
 
-register("fig5-imbalance", "load imbalance, both distributions")(
-    lambda scale: fig5_imbalance("block", scale) + "\n\n" + fig5_imbalance("sli", scale)
+def _run_imbalance(params: Mapping[str, object]) -> RunResult:
+    return RunResult(
+        text=fig5_imbalance(
+            params["family"], params["scale"], processors=params["processors"]
+        )
+    )
+
+
+def _run_speedup(params: Mapping[str, object]) -> RunResult:
+    return RunResult(
+        text=fig5_speedup(params["family"], params["scale"], scene_name=params["scene"])
+    )
+
+
+def _speedup_axes(params: Mapping[str, object]) -> dict:
+    """Search tile size / SLI height under a perfect cache."""
+    return {"size": family_sizes(params["family"])}
+
+
+FIG5_IMBALANCE = register_spec(
+    ExperimentSpec(
+        name="fig5-imbalance",
+        description="load imbalance, both distributions",
+        space=ParamSpace(
+            (
+                Param.number("scale", 0.25, minimum=0.001, maximum=1.0, help="scene scale"),
+                Param.choice("family", "block", FAMILIES, help="distribution family"),
+                Param.integer("processors", 64, minimum=1, maximum=1024, help="node count"),
+            )
+        ),
+        runner=_run_imbalance,
+        panels={"family": FAMILIES},
+    )
 )
-register("fig5-speedup", "perfect-cache speedup vs processors")(
-    lambda scale: fig5_speedup("block", scale) + "\n\n" + fig5_speedup("sli", scale)
+
+FIG5_SPEEDUP = register_spec(
+    ExperimentSpec(
+        name="fig5-speedup",
+        description="perfect-cache speedup vs processors",
+        space=ParamSpace(
+            (
+                Param.number("scale", 0.25, minimum=0.001, maximum=1.0, help="scene scale"),
+                Param.choice("family", "block", FAMILIES, help="distribution family"),
+                Param.choice("scene", "massive32_1255", SCENE_NAMES, help="workload"),
+            )
+        ),
+        runner=_run_speedup,
+        panels={"family": FAMILIES},
+        trial=TrialTemplate(
+            base={"scene": "massive32_1255", "processors": 64, "cache": "perfect"},
+            axes=_speedup_axes,
+            carry=("scale", "family"),
+        ),
+    )
 )

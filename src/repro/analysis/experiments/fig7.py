@@ -3,17 +3,32 @@
 ``fig7_panel`` stays module-level so it pickles for the process pool;
 scene panels fan out over ``REPRO_WORKERS`` processes, sharing their
 scene/routing/replay artifacts through the pipeline's disk store.
+
+The experiment is declared as an :class:`~repro.expfw.spec.ExperimentSpec`:
+``fig7-ratio2`` is no longer a copy-pasted lambda but a derived child
+spec (same runner, ``bus_ratio=2.0`` default and a narrower scene
+list), and the ``family`` panel axis rebuilds the legacy two-panel CLI
+text byte-for-byte.  The trial template is what the auto-search driver
+tunes: tile size / SLI height following the family, FIFO depth, and
+cache geometry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.analysis.experiments.common import FAMILY_ROW_LABEL, PROCESSOR_COUNTS, family_sizes
-from repro.analysis.experiments.registry import register
 from repro.analysis.performance import SpeedupStudy
 from repro.analysis.tables import format_series
+from repro.expfw.params import Param, ParamSpace
+from repro.expfw.spec import ExperimentSpec, RunResult, TrialTemplate, register_spec
 from repro.workloads import SCENE_NAMES, build_scene
+
+FAMILIES = ("block", "sli")
+
+#: Search axes beyond the distribution size (the paper's §4 knobs).
+FIFO_DEPTHS = (10, 100, 10000)
+CACHE_KILOBYTES = (8, 16, 32)
 
 
 def fig7_panel(
@@ -62,11 +77,51 @@ def fig7(
     return header + "\n\n" + "\n\n".join(blocks)
 
 
-register("fig7", "speedups, 1x bus")(
-    lambda scale: fig7("block", scale) + "\n\n" + fig7("sli", scale)
+def _run_fig7(params: Mapping[str, object]) -> RunResult:
+    return RunResult(
+        text=fig7(
+            params["family"],
+            params["scale"],
+            bus_ratio=params["bus_ratio"],
+            scenes=params["scenes"],
+        )
+    )
+
+
+def _fig7_axes(params: Mapping[str, object]) -> dict:
+    """The tunable machine point: size follows the family."""
+    return {
+        "size": family_sizes(params["family"]),
+        "fifo": FIFO_DEPTHS,
+        "cache_kb": CACHE_KILOBYTES,
+    }
+
+
+FIG7 = register_spec(
+    ExperimentSpec(
+        name="fig7",
+        description="speedups, 1x bus",
+        space=ParamSpace(
+            (
+                Param.number("scale", 0.25, minimum=0.001, maximum=1.0, help="scene scale"),
+                Param.choice("family", "block", FAMILIES, help="distribution family"),
+                Param.number("bus_ratio", 1.0, minimum=0.1, maximum=16.0, help="bus texel/pixel"),
+                Param.names("scenes", SCENE_NAMES, SCENE_NAMES, help="scene panels"),
+            )
+        ),
+        runner=_run_fig7,
+        panels={"family": FAMILIES},
+        trial=TrialTemplate(
+            base={"scene": "massive32_1255", "processors": 64, "cache": "lru"},
+            axes=_fig7_axes,
+        ),
+    )
 )
-register("fig7-ratio2", "speedups, 2x bus (tech-report companion)")(
-    lambda scale: fig7("block", scale, bus_ratio=2.0, scenes=("massive32_1255", "teapot_full"))
-    + "\n\n"
-    + fig7("sli", scale, bus_ratio=2.0, scenes=("massive32_1255", "teapot_full"))
+
+FIG7_RATIO2 = register_spec(
+    FIG7.derive(
+        name="fig7-ratio2",
+        description="speedups, 2x bus (tech-report companion)",
+        defaults={"bus_ratio": 2.0, "scenes": ("massive32_1255", "teapot_full")},
+    )
 )

@@ -15,6 +15,9 @@ Examples::
     repro-experiments worker --url http://127.0.0.1:8765
     repro-experiments submit --url http://127.0.0.1:8765 --run table1 --wait
     repro-experiments status --url http://127.0.0.1:8765 --id job-1
+    repro-experiments search --experiment fig7 --budget 1e9 --strategy halving
+    repro-experiments archive
+    repro-experiments replay --key trial/fig7/halving/r0/<digest>
 """
 
 from __future__ import annotations
@@ -44,6 +47,9 @@ _COMMANDS = {
     "worker": "start a fleet worker pulling jobs from a coordinator (--url)",
     "submit": "submit a job to a running service (--url, --run/--scene/--job)",
     "status": "show a job (--id) or service metrics from --url",
+    "search": "budgeted auto-search over an experiment (--experiment, --budget)",
+    "archive": "list archived run/trial/search records (--key for one record)",
+    "replay": "re-run an archived record and diff it bit-for-bit (--key)",
 }
 
 #: Default address for the job service.
@@ -234,6 +240,73 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument(
         "--id", default=None, help="status: job id to query (omit for service metrics)"
     )
+    expfw = parser.add_argument_group("experiment framework (search / archive / replay)")
+    expfw.add_argument(
+        "--experiment",
+        dest="search_experiment",
+        default=None,
+        help="search: experiment spec to tune (e.g. fig7)",
+    )
+    expfw.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="search: stop once this much budget is spent (see --budget-unit)",
+    )
+    expfw.add_argument(
+        "--budget-unit",
+        choices=("cycles", "seconds"),
+        default="cycles",
+        help="search: budget currency — simulated cycles or wall seconds",
+    )
+    expfw.add_argument(
+        "--strategy",
+        choices=("grid", "halving", "both"),
+        default="both",
+        help="search: grid sweep, successive halving, or both (default)",
+    )
+    expfw.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="search: explicit PRNG seed for subsampling/trial seeds (default: 0)",
+    )
+    expfw.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="search: seeded subsample of the candidate grid to at most N points",
+    )
+    expfw.add_argument(
+        "--eta", type=int, default=2, help="search: halving keep ratio (default: 2)"
+    )
+    expfw.add_argument(
+        "--rungs", type=int, default=3, help="search: halving rung count (default: 3)"
+    )
+    expfw.add_argument(
+        "--wave",
+        type=int,
+        default=4,
+        help="search: trials dispatched per wave (default: 4)",
+    )
+    expfw.add_argument(
+        "--overrides",
+        default=None,
+        help="search: experiment param overrides as inline JSON",
+    )
+    expfw.add_argument(
+        "--fixed",
+        default=None,
+        help="search: pinned trial payload fields as inline JSON (e.g. scene)",
+    )
+    expfw.add_argument(
+        "--via-service",
+        action="store_true",
+        help="search: dispatch trials as jobs to the service at --url",
+    )
+    expfw.add_argument(
+        "--key", default=None, help="archive/replay: record key to fetch or re-run"
+    )
     return parser
 
 
@@ -257,6 +330,8 @@ def _run_one(name: str, scale: float, out: Optional[Path]) -> None:
 
 
 def _list_registry() -> None:
+    from repro.expfw.spec import SPECS
+
     width = max(
         max(len(name) for name in EXPERIMENTS),
         max(len(name) for name in _COMMANDS),
@@ -264,6 +339,9 @@ def _list_registry() -> None:
     print("experiments:")
     for name, (description, _) in EXPERIMENTS.items():
         print(f"  {name.ljust(width)}  {description}")
+        spec = SPECS.get(name)
+        if spec is not None:
+            print(f"  {'':{width}}    params: {spec.describe_params()}")
     print("\ncommands:")
     for name, description in _COMMANDS.items():
         print(f"  {name.ljust(width)}  {description}")
@@ -469,6 +547,93 @@ def _status(args) -> int:
     return 0
 
 
+# -- experiment framework verbs ---------------------------------------
+
+
+def _inline_json(raw: Optional[str], label: str) -> dict:
+    if raw is None:
+        return {}
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{label} is not valid JSON: {exc}") from exc
+    if not isinstance(value, dict):
+        raise ConfigurationError(f"{label} must be a JSON object, got {value!r}")
+    return value
+
+
+def _search(args, scale: float) -> int:
+    from repro.expfw import ClientDispatcher, parse_search_payload, render_report, run_search
+
+    if args.search_experiment is None:
+        print("error: search needs --experiment <name>", file=sys.stderr)
+        return 2
+    if args.budget is None:
+        print("error: search needs --budget <amount>", file=sys.stderr)
+        return 2
+    overrides = _inline_json(args.overrides, "--overrides")
+    overrides.setdefault("scale", scale)
+    payload = {
+        "experiment": args.search_experiment,
+        "budget": args.budget,
+        "unit": args.budget_unit,
+        "strategy": args.strategy,
+        "seed": args.seed,
+        "overrides": overrides,
+        "fixed": _inline_json(args.fixed, "--fixed"),
+        "eta": args.eta,
+        "rungs": args.rungs,
+        "wave": args.wave,
+    }
+    if args.max_trials is not None:
+        payload["max_trials"] = args.max_trials
+    config = parse_search_payload(payload)
+    dispatcher = None
+    if args.via_service:
+        from repro.service import ServiceClient
+
+        dispatcher = ClientDispatcher(ServiceClient(_service_url(args)))
+    report = run_search(config, dispatcher=dispatcher)
+    print(render_report(report))
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"search_{config.experiment.replace('-', '_')}.json"
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote search report to {path}]")
+    return 0
+
+
+def _archive(args) -> int:
+    from repro.expfw import RunArchive
+
+    archive = RunArchive()
+    if args.key is not None:
+        print(json.dumps(archive.get(args.key), indent=2, sort_keys=True))
+        return 0
+    records = archive.records()
+    if not records:
+        print(f"archive empty ({archive.root})")
+        return 0
+    print(f"archive {archive.root}: {len(records)} record(s)")
+    for record in records:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.get("created_at", 0.0))
+        )
+        print(f"  {record.get('kind', '?'):<7} {stamp}  {record['key']}")
+    return 0
+
+
+def _replay(args) -> int:
+    from repro.expfw import RunArchive, replay_record
+
+    if args.key is None:
+        print("error: replay needs --key <record key>", file=sys.stderr)
+        return 2
+    report = replay_record(RunArchive().get(args.key))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _print_timings() -> None:
     from repro import pipeline
 
@@ -511,6 +676,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return _worker(args)
     if args.experiment == "status":
         return _status(args)
+    if args.experiment == "archive":
+        return _archive(args)
+    if args.experiment == "replay":
+        return _replay(args)
 
     scale = args.scale if args.scale is not None else experiment_scale()
     if not 0 < scale <= 1:
@@ -520,6 +689,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "submit":
         # An unset --scale defers to the service's default for the job.
         status = _submit(args)
+    elif args.experiment == "search":
+        status = _search(args, scale)
     elif args.experiment == "run":
         status = _run_point(args, scale)
     elif args.experiment == "dump-trace":

@@ -1,0 +1,344 @@
+"""Archived experiment runs: content-addressed, re-runnable records.
+
+Every run the framework executes — a declarative experiment run, one
+auto-search trial, or a whole search — lands in the
+:class:`RunArchive` as a JSON record whose key derives from the exact
+resolved parameters (the same content-identity discipline the pipeline
+and job service use).  A record carries everything needed to re-run
+it and check the reproduction: the resolved params / job payload, the
+seed, the artifact keys it produced, the deterministic metrics
+snapshot, and a git/config fingerprint of the code that ran it.
+
+Storage is layered on the pipeline's shared artifact tier: records
+are human-readable ``<digest>.json`` files under
+``$REPRO_ARTIFACT_DIR/expfw-runs`` (atomic writes, same discipline as
+:mod:`repro.pipeline.store`), so every process sharing the artifact
+directory — CLI runs, service workers, a whole compose fleet — reads
+and writes one archive; the in-process :class:`ArtifactStore` memory
+tier fronts repeat lookups.
+
+:func:`replay_record` is the reproducibility check: it re-executes a
+record inline and verifies the fresh artifact keys and metrics are
+**bit-identical** to the archived ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import pipeline
+from repro.errors import ConfigurationError
+from repro.expfw.spec import ExperimentSpec, require_spec
+from repro.pipeline.keys import fingerprint
+from repro.pipeline.store import ARTIFACT_DIR_ENV_VAR, ArtifactStore
+
+#: Stage name archive records occupy inside the pipeline store.
+RUN_STAGE = "expfw-run"
+#: Subdirectory of the shared artifact tier holding the JSON records.
+ARCHIVE_SUBDIR = "expfw-runs"
+#: Record schema version.
+RECORD_VERSION = 1
+
+#: Record kinds.
+RUN = "run"
+TRIAL = "trial"
+SEARCH = "search"
+KINDS = (RUN, TRIAL, SEARCH)
+
+
+def default_archive_dir() -> Path:
+    """The archive root: ``<shared artifact dir>/expfw-runs``.
+
+    Reuses ``REPRO_ARTIFACT_DIR`` when set; otherwise materialises the
+    shared store (same temp-dir plumbing the sweep workers use) so
+    records written here are visible to every process of the run.
+    """
+    root = os.environ.get(ARTIFACT_DIR_ENV_VAR)
+    if root is None:
+        root = str(pipeline.ensure_shared_store())
+    return Path(root) / ARCHIVE_SUBDIR
+
+
+def _git_head() -> Optional[str]:
+    """Current commit sha, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def environment_fingerprint(spec: Optional[ExperimentSpec] = None) -> Dict[str, object]:
+    """Code/config identity stamped into every record."""
+    return {
+        "git": _git_head(),
+        "spec": spec.fingerprint() if spec is not None else None,
+    }
+
+
+class RunArchive:
+    """Content-addressed JSON records over the shared artifact tier."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_archive_dir()
+        self._store = store if store is not None else pipeline.store()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{fingerprint(key)}.json"
+
+    # -- writing -----------------------------------------------------
+
+    def record(self, record: Dict) -> str:
+        """Persist one record; returns its key.
+
+        The JSON file is the shared source of truth (atomic write);
+        the pipeline store's memory tier fronts repeat lookups in this
+        process.  Records are content-addressed, so re-recording the
+        same key simply overwrites identical bytes.
+        """
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError("an archive record needs a non-empty 'key'")
+        if record.get("kind") not in KINDS:
+            raise ConfigurationError(
+                f"record kind must be one of {', '.join(KINDS)}, "
+                f"got {record.get('kind')!r}"
+            )
+        payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, temp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            os.unlink(temp_name)
+            raise
+        self._store.put(RUN_STAGE, key, record, disk=False)
+        return key
+
+    # -- reading -----------------------------------------------------
+
+    def find(self, key: str) -> Optional[Dict]:
+        """The record under ``key``, or ``None``."""
+        found, value = self._store.peek(RUN_STAGE, key)
+        if found:
+            return value
+        path = self._path(key)
+        if not path.exists():
+            return None
+        record = self._load(path)
+        if record is not None:
+            self._store.put(RUN_STAGE, key, record, disk=False)
+        return record
+
+    def get(self, key: str) -> Dict:
+        record = self.find(key)
+        if record is None:
+            raise ConfigurationError(
+                f"no archived record for key {key!r} under {self.root}"
+            )
+        return record
+
+    def records(self) -> List[Dict]:
+        """Every readable record, oldest first (ties break on key)."""
+        if not self.root.is_dir():
+            return []
+        loaded = []
+        for path in sorted(self.root.glob("*.json")):
+            record = self._load(path)
+            if record is not None:
+                loaded.append(record)
+        loaded.sort(key=lambda r: (r.get("created_at", 0.0), r.get("key", "")))
+        return loaded
+
+    def keys(self) -> List[str]:
+        return [record["key"] for record in self.records()]
+
+    @staticmethod
+    def _load(path: Path) -> Optional[Dict]:
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A truncated or in-flight record: skip, never crash a list.
+            return None
+        if not isinstance(record, dict) or "key" not in record:
+            return None
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+# -- record builders --------------------------------------------------
+
+
+def run_record(
+    spec: ExperimentSpec,
+    params: Dict[str, object],
+    result,
+    seed: Optional[int] = None,
+) -> Dict:
+    """Archive form of one declarative experiment run."""
+    return {
+        "version": RECORD_VERSION,
+        "kind": RUN,
+        "key": spec.run_key(params, seed=seed),
+        "experiment": spec.name,
+        "params": _jsonable(params),
+        "seed": seed,
+        "artifacts": list(result.artifacts),
+        "metrics": dict(result.metrics),
+        "text_sha": fingerprint(result.text),
+        "fingerprint": environment_fingerprint(spec),
+        "created_at": time.time(),
+    }
+
+
+def trial_record(
+    experiment: str,
+    strategy: str,
+    rung: int,
+    point: Dict[str, object],
+    payload: Dict[str, object],
+    seed: int,
+    result: Dict,
+    spec: Optional[ExperimentSpec] = None,
+) -> Dict:
+    """Archive form of one auto-search trial (a simulate job)."""
+    identity = json.dumps(_jsonable(payload), sort_keys=True)
+    return {
+        "version": RECORD_VERSION,
+        "kind": TRIAL,
+        "key": f"trial/{experiment}/{strategy}/r{rung}/{fingerprint(identity)}",
+        "experiment": experiment,
+        "strategy": strategy,
+        "rung": rung,
+        "point": _jsonable(point),
+        "payload": _jsonable(payload),
+        "seed": seed,
+        "result_key": result.get("key"),
+        "artifacts": [result.get("key")],
+        "metrics": dict(result.get("metrics") or {}),
+        "elapsed_seconds": result.get("elapsed_seconds"),
+        "fingerprint": environment_fingerprint(spec),
+        "created_at": time.time(),
+    }
+
+
+def _jsonable(mapping: Dict[str, object]) -> Dict[str, object]:
+    return {
+        name: list(value) if isinstance(value, tuple) else value
+        for name, value in mapping.items()
+    }
+
+
+# -- replay -----------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-running an archived record."""
+
+    key: str
+    ok: bool
+    diffs: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"replay OK: {self.key} reproduced bit-identically"
+        lines = "\n".join(f"  - {diff}" for diff in self.diffs)
+        return f"replay MISMATCH: {self.key}\n{lines}"
+
+
+def replay_record(record: Dict) -> ReplayReport:
+    """Re-execute a record inline and diff against the archive.
+
+    Artifact keys and metrics must match **bit-identically** — the
+    archive's reproducibility contract.  Search summary records are
+    not directly replayable (replay their trials instead).
+    """
+    kind = record.get("kind")
+    if kind == TRIAL:
+        return _replay_trial(record)
+    if kind == RUN:
+        return _replay_run(record)
+    raise ConfigurationError(
+        f"records of kind {kind!r} are not replayable; replay the "
+        "individual trial/run records instead"
+    )
+
+
+def _replay_trial(record: Dict) -> ReplayReport:
+    from repro.service.jobs import execute_payload
+
+    fresh = execute_payload(dict(record["payload"]))
+    diffs = []
+    if fresh["key"] != record.get("result_key"):
+        diffs.append(
+            f"artifact key changed: archived {record.get('result_key')!r}, "
+            f"fresh {fresh['key']!r}"
+        )
+    diffs.extend(_diff_metrics(record.get("metrics") or {}, fresh.get("metrics") or {}))
+    return ReplayReport(
+        key=record["key"],
+        ok=not diffs,
+        diffs=diffs,
+        metrics=dict(fresh.get("metrics") or {}),
+    )
+
+
+def _replay_run(record: Dict) -> ReplayReport:
+    spec = require_spec(record["experiment"])
+    result = spec.run(record["params"])
+    diffs = []
+    fresh_key = spec.run_key(spec.resolve(record["params"]), seed=record.get("seed"))
+    if fresh_key != record["key"]:
+        diffs.append(f"run key changed: archived {record['key']!r}, fresh {fresh_key!r}")
+    if list(result.artifacts) != list(record.get("artifacts") or []):
+        diffs.append(
+            f"artifact keys changed: archived {record.get('artifacts')!r}, "
+            f"fresh {list(result.artifacts)!r}"
+        )
+    if fingerprint(result.text) != record.get("text_sha"):
+        diffs.append("rendered text changed (sha mismatch)")
+    diffs.extend(_diff_metrics(record.get("metrics") or {}, result.metrics))
+    return ReplayReport(
+        key=record["key"], ok=not diffs, diffs=diffs, metrics=dict(result.metrics)
+    )
+
+
+def _diff_metrics(archived: Dict, fresh: Dict) -> List[str]:
+    diffs = []
+    for name in sorted(set(archived) | set(fresh)):
+        old, new = archived.get(name), fresh.get(name)
+        if old != new:
+            diffs.append(f"metric {name!r}: archived {old!r}, fresh {new!r}")
+    return diffs
+
+
+def find_record(key: str, root: Optional[os.PathLike] = None) -> Tuple[RunArchive, Dict]:
+    """Convenience: open the archive and fetch one record."""
+    archive = RunArchive(root=root)
+    return archive, archive.get(key)

@@ -330,21 +330,25 @@ def execute_payload(payload: Dict) -> Dict:
     """
     spec = spec_from_payload(payload)
     started = time.perf_counter()
+    metrics: Optional[Dict[str, float]] = None
     if spec.kind == "experiment":
         from repro.analysis.experiments.registry import resolve
 
         _description, runner = resolve(spec.experiment)
         text = runner(spec.scale)
     else:
-        text = _simulate(spec)
-    return {
+        text, metrics = _simulate(spec)
+    result = {
         "key": spec.result_key(),
         "text": text,
         "elapsed_seconds": time.perf_counter() - started,
     }
+    if metrics is not None:
+        result["metrics"] = metrics
+    return result
 
 
-def _simulate(spec: JobSpec) -> str:
+def _simulate(spec: JobSpec) -> Tuple[str, Dict[str, float]]:
     from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
     from repro.core.machine import simulate_machine, single_processor_baseline
     from repro.workloads.scenes import build_scene
@@ -366,4 +370,14 @@ def _simulate(spec: JobSpec) -> str:
     config = machine_config_from_spec(machine, distribution)
     baseline = single_processor_baseline(scene, config)
     result = simulate_machine(scene, config, baseline_cycles=baseline)
-    return result.summary()
+    metrics = {
+        "cycles": float(result.cycles),
+        "baseline_cycles": float(baseline),
+        "texel_to_fragment": float(result.texel_to_fragment),
+        "imbalance_percent": float(result.work_imbalance_percent()),
+    }
+    if result.speedup is not None:
+        metrics["speedup"] = float(result.speedup)
+    if result.efficiency is not None:
+        metrics["efficiency"] = float(result.efficiency)
+    return result.summary(), metrics

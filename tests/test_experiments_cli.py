@@ -68,6 +68,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "table1" in out and "fig8" in out
 
+    def test_list_prints_spec_params_and_defaults(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Spec-backed experiments show their parameter space inline.
+        assert "params: scale=0.25" in out
+        assert "family=block (block|sli)" in out
+        # The derived child advertises its overridden default.
+        assert "bus_ratio=2.0" in out
+
     def test_unknown_experiment(self, capsys):
         assert main(["fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
