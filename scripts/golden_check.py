@@ -34,6 +34,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from tests.golden_common import (  # noqa: E402
     ALL_POINTS,
     GOLDEN_SCALE,
+    VT_POINTS,
     check_all,
     golden_path,
     load_golden,
@@ -54,7 +55,8 @@ def check_goldens() -> int:
             "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py)"
         )
         return 1
-    print(f"golden check: OK — {len(ALL_POINTS)} points match exactly")
+    total = len(ALL_POINTS) + len(VT_POINTS)
+    print(f"golden check: OK — {total} points match exactly")
     return 0
 
 

@@ -13,8 +13,8 @@ an arbitrary campaign described declaratively::
       ]
     }
 
-Every machine entry accepts ``family`` (``block``/``sli``/``bands``/
-``single``), ``processors``, ``size``, plus the optional knobs
+Every machine entry accepts ``family`` (``block``/``sli``/``morton``/
+``bands``/``single``), ``processors``, ``size``, plus the optional knobs
 ``cache`` (lru/perfect/none), ``cache_kb``, ``ways``, ``bus_ratio``,
 ``fifo``, ``geometry_engines`` and ``geometry_cycles``.  Results come
 back as :class:`MachineResult` rows (speedups against each scene's
@@ -36,6 +36,7 @@ from repro.core.results import MachineResult
 from repro.distribution.base import Distribution
 from repro.distribution.block import BlockInterleaved
 from repro.distribution.contiguous import ContiguousBands
+from repro.distribution.morton import MortonInterleaved
 from repro.distribution.single import SingleProcessor
 from repro.distribution.sli import ScanLineInterleaved
 from repro.errors import ConfigurationError
@@ -51,6 +52,8 @@ def distribution_from_spec(spec: Dict, screen_height: int) -> Distribution:
         return BlockInterleaved(processors, size)
     if family == "sli":
         return ScanLineInterleaved(processors, size)
+    if family == "morton":
+        return MortonInterleaved(processors, size)
     if family == "bands":
         return ContiguousBands(processors, screen_height)
     if family == "single":

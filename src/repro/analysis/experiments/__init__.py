@@ -49,6 +49,7 @@ from repro.analysis.experiments.validation import (
     validation_overlap_model,
     validation_prefetch,
 )
+from repro.analysis.experiments.vt import vt_distribution
 
 __all__ = [
     "ALL_PROCESSOR_COUNTS",
@@ -85,4 +86,5 @@ __all__ = [
     "table1",
     "validation_overlap_model",
     "validation_prefetch",
+    "vt_distribution",
 ]

@@ -8,7 +8,7 @@ being stateful across calls.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -29,6 +29,7 @@ def replay_fragments(
     seen_lines: Optional[np.ndarray] = None,
     chunk_size: int = DEFAULT_CHUNK,
     reset: bool = True,
+    translate: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> CacheRunResult:
     """Replay one node's fragment stream; returns aggregate statistics.
 
@@ -36,8 +37,12 @@ def replay_fragments(
     cold engine drawing the given stream in order; pass ``reset=False``
     to continue with warm state — how the inter-frame L2 study chains
     consecutive frames through one hierarchy.  ``seen_lines`` (a
-    boolean array of layout.total_lines) enables compulsory-miss
-    classification; pass a fresh zeroed array per node.
+    boolean array covering the addressed line space) enables
+    compulsory-miss classification; pass a fresh zeroed array per node.
+    ``translate`` optionally rewrites the flat line-address stream
+    before it reaches the cache model — the virtual-texturing page
+    table (:mod:`repro.texture.pages`) hooks in here.  It must be a
+    pure elementwise function so chunking stays invisible.
     """
     if reset:
         model.reset()
@@ -55,6 +60,8 @@ def replay_fragments(
             fragments.texture[start:stop],
         )
         flat = lines.reshape(-1)
+        if translate is not None:
+            flat = translate(flat)
         miss_mask = model.misses(flat)
         misses = int(miss_mask.sum())
 

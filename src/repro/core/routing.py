@@ -35,6 +35,7 @@ if TYPE_CHECKING:
     from repro.cache.config import CacheConfig
     from repro.raster.fragments import FragmentBuffer
     from repro.texture.layout import TextureMemoryLayout
+    from repro.texture.pages import PageTable
 
 #: Cache model spec accepted everywhere a machine is configured.
 CacheSpec = Union[str, TextureCacheModel, None]
@@ -178,10 +179,22 @@ def compute_replay(
     cache_config: Optional["CacheConfig"] = None,
     layout: Optional["TextureMemoryLayout"] = None,
     chunk_size: Optional[int] = None,
+    translator: Optional["PageTable"] = None,
 ) -> ReplayResult:
-    """Replay every node's fragment stream through its private cache."""
+    """Replay every node's fragment stream through its private cache.
+
+    ``translator`` optionally rewrites the line-address stream before
+    it reaches the cache model — the virtual-texturing page table maps
+    virtual lines onto its resident physical frames here.  Translation
+    is pure (the table is frozen within a frame), so per-node replay
+    order cannot perturb it.
+    """
     layout = layout or scene.memory_layout()
     tex_filter = TrilinearFilter(layout)
+    translate = None if translator is None else translator.translate
+    address_lines = layout.total_lines
+    if translator is not None:
+        address_lines = max(address_lines, translator.address_space_lines)
     n_proc = distribution.num_processors
     n_tri = scene.num_triangles
     owners = distribution.owners(fragments.x, fragments.y)
@@ -210,13 +223,14 @@ def compute_replay(
                 # Line fills carry however many texels the layout's
                 # texel format packs into 64 bytes.
                 model.texels_per_fetch = layout.texels_per_line
-            seen = np.zeros(layout.total_lines, dtype=bool)
+            seen = np.zeros(address_lines, dtype=bool)
             run = replay_fragments(
                 node_fragments,
                 tex_filter,
                 model,
                 seen_lines=seen,
                 chunk_size=chunk_size or DEFAULT_CHUNK,
+                translate=translate,
             )
             total_cache = total_cache.merged_with(run)
             texels_per_node_tri.append(run.texels_by_triangle)
@@ -286,6 +300,7 @@ def build_routed_work(
     layout: Optional["TextureMemoryLayout"] = None,
     route_by: str = "bbox",
     fragments: Optional["FragmentBuffer"] = None,
+    translator: Optional["PageTable"] = None,
 ) -> RoutedWork:
     """Route a scene and replay every node's stream through its cache.
 
@@ -295,6 +310,8 @@ def build_routed_work(
     ``"coverage"`` (oracle routing, the ablation contrast).
     ``fragments`` overrides the scene's rasterisation — the early-Z
     ablation passes the depth-resolved survivor stream here.
+    ``translator`` rewrites line addresses through a virtual-texturing
+    page table before the cache sees them (:mod:`repro.texture.pages`).
 
     Delegates to :func:`repro.pipeline.routed_work`, which memoizes
     the routing plan, the cache replay and the assembled work by
@@ -312,4 +329,5 @@ def build_routed_work(
         layout=layout,
         route_by=route_by,
         fragments=fragments,
+        translator=translator,
     )

@@ -26,6 +26,8 @@ VECTORIZED_SCOPES: Tuple[str, ...] = (
     "repro.texture.filtering",
     "repro.cache.stream",
     "repro.cache.batchlru",
+    "repro.texture.pages",
+    "repro.workloads.vt",
 )
 
 #: The per-fragment column names, taken from the buffer itself so the

@@ -16,12 +16,16 @@ from repro.lintkit.context import ModuleContext
 from repro.lintkit.findings import Finding
 from repro.lintkit.registry import Rule, register
 
-#: Packages whose results must be bit-exact across runs.
+#: Packages whose results must be bit-exact across runs.  The VT page
+#: table and workload driver join the core: the golden points pin the
+#: whole residency trajectory, frame by frame.
 DETERMINISTIC_SCOPES: Tuple[str, ...] = (
     "repro.sim",
     "repro.core",
     "repro.cache",
     "repro.raster",
+    "repro.texture.pages",
+    "repro.workloads.vt",
 )
 
 #: Wall-clock reads; any of these makes a cycle count run-dependent.

@@ -47,6 +47,21 @@ def cache_key(cache_spec, cache_config) -> Optional[str]:
     return f"{cache_spec}#{spec_fingerprint(cache_config)}"
 
 
+def translator_key(translator) -> Optional[str]:
+    """Identity of a line-address translator (``"direct"`` when absent).
+
+    A translator must expose a ``cache_key()`` describing its *current*
+    mapping (the virtual-texturing page table does); anything without
+    one is treated as stateful and makes the replay uncacheable.
+    """
+    if translator is None:
+        return "direct"
+    key = getattr(translator, "cache_key", None)
+    if key is None:
+        return None
+    return str(key())
+
+
 def layout_key(scene, layout) -> Optional[str]:
     """Identity of a texture-memory layout *for this scene's textures*.
 

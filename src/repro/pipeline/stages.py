@@ -93,6 +93,7 @@ def routed_work(
     layout=None,
     route_by: str = "bbox",
     fragments=None,
+    translator=None,
 ):
     """Stages 3-5: routing plan, cache replay, assembled per-node work.
 
@@ -101,17 +102,22 @@ def routed_work(
     routing mode or setup cost (a setup sweep shares its replay); the
     assembled :class:`~repro.core.routing.RoutedWork` is memoized in
     memory only, since it is cheap to reassemble from its parents.
+    ``translator`` (a virtual-texturing page table) joins the replay
+    key through its current-mapping ``cache_key()``, so a memoized
+    replay can never leak across residency states.
     """
     from repro.core import routing
 
     scene_id = getattr(scene, "artifact_key", None)
     cache_part = keys.cache_key(cache_spec, cache_config)
     layout_part = keys.layout_key(scene, layout)
+    translator_part = keys.translator_key(translator)
     cacheable = (
         scene_id is not None
         and fragments is None
         and cache_part is not None
         and layout_part is not None
+        and translator_part is not None
     )
 
     if not cacheable:
@@ -123,7 +129,14 @@ def routed_work(
         replay = _timed(
             "replay",
             lambda: routing.compute_replay(
-                scene, distribution, frags, cache_spec, cache_config, layout, chunk_size
+                scene,
+                distribution,
+                frags,
+                cache_spec,
+                cache_config,
+                layout,
+                chunk_size,
+                translator=translator,
             ),
         )
         return routing.assemble_routed_work(plan, replay, setup_cycles)
@@ -134,6 +147,8 @@ def routed_work(
     replay_key = (
         f"{scene_id}/{dist_part}/{cache_part}/{layout_part}/chunk{chunk_size or 0}"
     )
+    if translator_part != "direct":
+        replay_key += f"/{translator_part}"
     work_key = f"{plan_key}|{replay_key}|setup{setup_cycles}"
 
     def assemble():
@@ -155,6 +170,7 @@ def routed_work(
                 cache_config,
                 layout,
                 chunk_size,
+                translator=translator,
             ),
         )
         return routing.assemble_routed_work(plan, replay, setup_cycles)

@@ -10,7 +10,11 @@ and experiment names against
   scale (``{"experiment": "fig6", "scale": 0.125}``);
 * ``simulate`` — run one machine point (``{"scene": "truc640",
   "processors": 16, "family": "block", "size": 16, ...}``) with the
-  same machine vocabulary as ``repro.analysis.batch`` campaigns.
+  same machine vocabulary as ``repro.analysis.batch`` campaigns;
+* ``vt`` — run one virtual-texturing pan sequence (``{"vt_scene":
+  "vt-quake", "vt_pages": 16, "vt_residency": 0.5, "vt_frames": 3,
+  ...}`` plus the same machine vocabulary), the trial unit the
+  ``vt-distribution`` auto-search drives.
 
 Every spec derives a deterministic **result key** from the pipeline's
 content-identity vocabulary (:mod:`repro.pipeline.keys`), so two
@@ -46,7 +50,7 @@ STATES = (QUEUED, RUNNING, DONE, FAILED, TIMED_OUT)
 #: States a job never leaves.
 TERMINAL_STATES = (DONE, FAILED, TIMED_OUT)
 
-_FAMILIES = ("block", "sli", "bands", "single")
+_FAMILIES = ("block", "sli", "morton", "bands", "single")
 _CACHES = ("lru", "perfect", "none")
 
 #: Submission keys that configure scheduling rather than the computation.
@@ -86,6 +90,10 @@ class JobSpec:
     ways: Optional[int] = None
     bus_ratio: float = 1.0
     fifo: int = 10000
+    vt_scene: Optional[str] = None
+    vt_pages: Optional[int] = None
+    vt_residency: Optional[float] = None
+    vt_frames: Optional[int] = None
 
     def result_key(self) -> str:
         """Content-addressed identity of this spec's result.
@@ -101,6 +109,19 @@ class JobSpec:
         geometry = ""
         if self.cache_kb is not None or self.ways is not None:
             geometry = f"#{self.cache_kb or 16}kb{self.ways or 4}w"
+        if self.kind == "vt":
+            from repro.pipeline.keys import spec_fingerprint
+            from repro.workloads.vt import VT_SCENE_SPECS
+
+            return (
+                f"vt/{self.vt_scene}@{self.scale:g}"
+                f"#{spec_fingerprint(VT_SCENE_SPECS[self.vt_scene])}"
+                f"/pages={self.vt_pages}/res={self.vt_residency:g}"
+                f"/frames={self.vt_frames}"
+                f"/{self.family}{self.size}x{self.processors}"
+                f"/cache={self.cache}{geometry}"
+                f"/bus={self.bus_ratio:g}/fifo={self.fifo}"
+            )
         return (
             f"simulate/{scene_key(SCENE_SPECS[self.scene], self.scale)}"
             f"/{self.family}{self.size}x{self.processors}"
@@ -154,9 +175,14 @@ def spec_from_payload(payload: Dict) -> JobSpec:
         return JobSpec(kind="experiment", experiment=name, scale=scale)
 
     scene = payload.get("scene")
-    if scene is None:
-        raise ConfigurationError("a job needs an 'experiment' name or a 'scene'")
-    if scene not in SCENE_SPECS:
+    vt_scene = payload.get("vt_scene")
+    if scene is None and vt_scene is None:
+        raise ConfigurationError(
+            "a job needs an 'experiment' name, a 'scene' or a 'vt_scene'"
+        )
+    if scene is not None and vt_scene is not None:
+        raise ConfigurationError("'scene' and 'vt_scene' are mutually exclusive")
+    if scene is not None and scene not in SCENE_SPECS:
         raise ConfigurationError(
             f"unknown scene {scene!r}; choose from {', '.join(SCENE_NAMES)}"
         )
@@ -181,6 +207,35 @@ def spec_from_payload(payload: Dict) -> JobSpec:
         cache_kb = _integer(payload, "cache_kb", default=16, minimum=1)
     if "ways" in payload:
         ways = _integer(payload, "ways", default=4, minimum=1)
+    if vt_scene is not None:
+        from repro.texture.pages import VirtualTextureConfig
+        from repro.workloads.vt import VT_SCENE_NAMES, VT_SCENE_SPECS
+
+        if vt_scene not in VT_SCENE_SPECS:
+            raise ConfigurationError(
+                f"unknown VT scene {vt_scene!r}; choose from {', '.join(VT_SCENE_NAMES)}"
+            )
+        vt_pages = _integer(payload, "vt_pages", default=16, minimum=1)
+        vt_residency = _number(payload, "vt_residency", default=0.5)
+        vt_frames = _integer(payload, "vt_frames", default=3, minimum=1)
+        # One source of truth for page-size/residency legality.
+        VirtualTextureConfig(vt_pages, vt_residency)
+        return JobSpec(
+            kind="vt",
+            vt_scene=vt_scene,
+            vt_pages=vt_pages,
+            vt_residency=vt_residency,
+            vt_frames=vt_frames,
+            scale=scale,
+            family=family,
+            processors=processors,
+            size=size,
+            cache=cache,
+            cache_kb=cache_kb,
+            ways=ways,
+            bus_ratio=bus_ratio,
+            fifo=fifo,
+        )
     return JobSpec(
         kind="simulate",
         scene=scene,
@@ -336,6 +391,8 @@ def execute_payload(payload: Dict) -> Dict:
 
         _description, runner = resolve(spec.experiment)
         text = runner(spec.scale)
+    elif spec.kind == "vt":
+        text, metrics = _simulate_vt(spec)
     else:
         text, metrics = _simulate(spec)
     result = {
@@ -348,11 +405,7 @@ def execute_payload(payload: Dict) -> Dict:
     return result
 
 
-def _simulate(spec: JobSpec) -> Tuple[str, Dict[str, float]]:
-    from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
-    from repro.core.machine import simulate_machine, single_processor_baseline
-    from repro.workloads.scenes import build_scene
-
+def _machine_vocabulary(spec: JobSpec) -> Dict:
     machine = {
         "family": spec.family,
         "processors": spec.processors,
@@ -365,6 +418,39 @@ def _simulate(spec: JobSpec) -> Tuple[str, Dict[str, float]]:
         machine["cache_kb"] = spec.cache_kb
     if spec.ways is not None:
         machine["ways"] = spec.ways
+    return machine
+
+
+def _simulate_vt(spec: JobSpec) -> Tuple[str, Dict[str, float]]:
+    """One virtual-texturing pan sequence as a job."""
+    from repro.workloads.vt import run_vt_sequence
+
+    result = run_vt_sequence(
+        spec.vt_scene,
+        _machine_vocabulary(spec),
+        scale=spec.scale,
+        page_lines=spec.vt_pages,
+        residency=spec.vt_residency,
+        frames=spec.vt_frames,
+    )
+    final = result.final
+    metrics = {
+        "cycles": float(result.total_cycles),
+        "baseline_cycles": float(result.total_baseline_cycles),
+        "speedup": float(final.speedup),
+        "miss_rate": float(final.miss_rate),
+        "fault_rate": float(result.mean_fault_rate),
+        "paged_in": float(result.total_paged_in),
+    }
+    return result.summary(), metrics
+
+
+def _simulate(spec: JobSpec) -> Tuple[str, Dict[str, float]]:
+    from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
+    from repro.core.machine import simulate_machine, single_processor_baseline
+    from repro.workloads.scenes import build_scene
+
+    machine = _machine_vocabulary(spec)
     scene = build_scene(spec.scene, spec.scale)
     distribution = distribution_from_spec(machine, scene.height)
     config = machine_config_from_spec(machine, distribution)

@@ -9,6 +9,7 @@ exactly one 64-byte cache line.
 from repro.texture.texture import MipmapLevel, MipmappedTexture
 from repro.texture.layout import TextureMemoryLayout
 from repro.texture.filtering import TrilinearFilter, TEXELS_PER_FRAGMENT
+from repro.texture.pages import PageTable, VirtualTextureConfig
 
 __all__ = [
     "MipmapLevel",
@@ -16,4 +17,6 @@ __all__ = [
     "TextureMemoryLayout",
     "TrilinearFilter",
     "TEXELS_PER_FRAGMENT",
+    "PageTable",
+    "VirtualTextureConfig",
 ]

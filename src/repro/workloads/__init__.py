@@ -19,6 +19,13 @@ from repro.workloads.scenes import (
 )
 from repro.workloads.magnify import remove_magnification
 from repro.workloads.sequence import pan_sequence, translate_scene
+from repro.workloads.vt import (
+    VT_SCENE_NAMES,
+    VT_SCENE_SPECS,
+    VtSceneSpec,
+    VtSequenceResult,
+    run_vt_sequence,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -31,4 +38,9 @@ __all__ = [
     "remove_magnification",
     "pan_sequence",
     "translate_scene",
+    "VT_SCENE_NAMES",
+    "VT_SCENE_SPECS",
+    "VtSceneSpec",
+    "VtSequenceResult",
+    "run_vt_sequence",
 ]

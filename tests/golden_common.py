@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import json
 import os
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
 from repro.analysis.batch import distribution_from_spec, machine_config_from_spec
 from repro.core.machine import simulate_machine, single_processor_baseline
 from repro.workloads.scenes import build_scene
+from repro.workloads.vt import run_vt_sequence
 
 #: Directory of committed golden JSON files.
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -59,6 +61,16 @@ LARGE_POINTS: Tuple[Tuple[str, str, int, int, float], ...] = (
 #: Every committed point, normalised to (scene, family, size, processors, scale).
 ALL_POINTS: Tuple[Tuple[str, str, int, int, float], ...] = (
     tuple((*point, GOLDEN_SCALE) for point in GOLDEN_POINTS) + LARGE_POINTS
+)
+
+#: Virtual-texturing points: (vt scene, family, size, processors, phase).
+#: ``cold`` pins the first frame of the pan (cold residency, peak
+#: faults); ``warm`` pins the last frame after the feedback loop has
+#: chased the pan — together they freeze the whole residency
+#: trajectory, since each frame's mapping feeds the next.
+VT_POINTS: Tuple[Tuple[str, str, int, int, str], ...] = (
+    ("vt-quake", "block", 16, 4, "cold"),
+    ("vt-quake", "block", 16, 4, "warm"),
 )
 
 
@@ -107,6 +119,58 @@ def compute_point(
     }
 
 
+def vt_point_name(
+    scene: str, family: str, size: int, processors: int, phase: str
+) -> str:
+    return f"{scene.replace('-', '_')}_{family}{size}_p{processors}_{phase}"
+
+
+def vt_golden_path(
+    scene: str, family: str, size: int, processors: int, phase: str
+) -> Path:
+    return GOLDEN_DIR / f"{vt_point_name(scene, family, size, processors, phase)}.json"
+
+
+@lru_cache(maxsize=None)
+def _vt_sequence(scene: str, family: str, size: int, processors: int):
+    return run_vt_sequence(
+        scene,
+        {"family": family, "size": size, "processors": processors},
+        scale=GOLDEN_SCALE,
+    )
+
+
+def compute_vt_point(
+    scene: str, family: str, size: int, processors: int, phase: str
+) -> Dict:
+    """One frame of a VT pan sequence, distilled for exact comparison.
+
+    ``cold`` is the sequence's first frame, ``warm`` its last; the
+    sequence is computed once and shared between the two phases.
+    """
+    result = _vt_sequence(scene, family, size, processors)
+    frame = result.frames[0] if phase == "cold" else result.frames[-1]
+    return {
+        "scene": scene,
+        "family": family,
+        "size": size,
+        "processors": processors,
+        "scale": GOLDEN_SCALE,
+        "phase": phase,
+        "vt_config": result.vt.describe(),
+        "metrics": {
+            "cycles": frame.cycles,
+            "baseline_cycles": frame.baseline_cycles,
+            "speedup": frame.speedup,
+            "texel_to_fragment": frame.texel_to_fragment,
+            "miss_rate": frame.miss_rate,
+            "fault_accesses": frame.vt["fault_accesses"],
+            "faulted_pages": frame.vt["faulted_pages"],
+            "paged_in": frame.vt["paged_in"],
+        },
+    }
+
+
 def write_golden(path: Path, document: Dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
@@ -131,13 +195,17 @@ def check_all() -> List[str]:
     drifted quantities rather than a bare assertion.
     """
     problems: List[str] = []
-    for scene, family, size, processors, scale in ALL_POINTS:
-        path = golden_path(scene, family, size, processors, scale)
+    checks = [
+        (golden_path(*point), compute_point, point) for point in ALL_POINTS
+    ] + [
+        (vt_golden_path(*point), compute_vt_point, point) for point in VT_POINTS
+    ]
+    for path, compute, point in checks:
         if not path.exists():
             problems.append(f"missing golden file {path.name}")
             continue
         expected = load_golden(path)
-        got = compute_point(scene, family, size, processors, scale)
+        got = compute(*point)
         for key, want in expected["metrics"].items():
             have = got["metrics"].get(key)
             if have != want:

@@ -16,11 +16,15 @@ import pytest
 
 from tests.golden_common import (
     ALL_POINTS,
+    VT_POINTS,
     compute_point,
+    compute_vt_point,
     golden_path,
     load_golden,
     point_name,
     update_requested,
+    vt_golden_path,
+    vt_point_name,
     write_golden,
 )
 
@@ -51,11 +55,52 @@ def test_golden_point(scene, family, size, processors, scale):
     )
 
 
+@pytest.mark.parametrize(
+    "scene,family,size,processors,phase",
+    VT_POINTS,
+    ids=[vt_point_name(*point) for point in VT_POINTS],
+)
+def test_vt_golden_point(scene, family, size, processors, phase):
+    """The VT goldens pin the paged path's residency trajectory: the
+    warm frame depends on every earlier frame's mapping, so a drift in
+    translation, feedback, or the LRU update shows up here."""
+    path = vt_golden_path(scene, family, size, processors, phase)
+    got = compute_vt_point(scene, family, size, processors, phase)
+
+    if update_requested():
+        write_golden(path, got)
+        return
+
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path.name} is missing; regenerate with "
+            "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py"
+        )
+
+    expected = load_golden(path)
+    assert got["metrics"] == expected["metrics"], (
+        f"{path.name} drifted; if intentional, re-baseline with "
+        "REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_vt_warm_frame_faults_less_than_cold():
+    """The committed documents must show the feedback loop working."""
+    if update_requested():
+        pytest.skip("regeneration run")
+    cold = load_golden(vt_golden_path("vt-quake", "block", 16, 4, "cold"))
+    warm = load_golden(vt_golden_path("vt-quake", "block", 16, 4, "warm"))
+    assert cold["metrics"]["fault_accesses"] > 0
+    assert warm["metrics"]["fault_accesses"] < cold["metrics"]["fault_accesses"]
+
+
 def test_golden_files_match_point_list():
     """Every committed golden file corresponds to a live point (no orphans)."""
     if update_requested():
         pytest.skip("regeneration run")
-    expected_names = {point_name(*point) + ".json" for point in ALL_POINTS}
+    expected_names = {point_name(*point) + ".json" for point in ALL_POINTS} | {
+        vt_point_name(*point) + ".json" for point in VT_POINTS
+    }
     from tests.golden_common import iter_golden_files
 
     on_disk = {path.name for path in iter_golden_files()}

@@ -567,6 +567,58 @@ def test_repro501_scoped_to_the_batch_perimeter():
 
 
 # ---------------------------------------------------------------------------
+# The virtual-texturing modules join both perimeters
+
+
+@pytest.mark.parametrize("module", ["repro.texture.pages", "repro.workloads.vt"])
+def test_vt_modules_are_in_the_deterministic_scope(module):
+    src = """\
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert rule_ids(src, module=module) == ["REPRO101"]
+
+
+@pytest.mark.parametrize("module", ["repro.texture.pages", "repro.workloads.vt"])
+def test_vt_modules_require_seeded_prngs(module):
+    src = """\
+        import numpy
+
+        def shuffle_pages(pages):
+            return numpy.random.permutation(pages)
+    """
+    assert rule_ids(src, module=module) == ["REPRO103"]
+
+
+def test_vt_modules_forbid_set_order_dependence():
+    src = """\
+        def evict_order(pages):
+            return [page for page in set(pages)]
+    """
+    assert rule_ids(src, module="repro.texture.pages") == ["REPRO104"]
+
+
+@pytest.mark.parametrize("module", ["repro.texture.pages", "repro.workloads.vt"])
+def test_vt_modules_are_in_the_batch_perimeter(module):
+    src = """\
+        def faults(fragments, resident):
+            return [u for u in fragments.u if u not in resident]
+    """
+    assert rule_ids(src, module=module) == ["REPRO501"]
+
+
+def test_vt_chunked_observe_loop_is_clean():
+    src = """\
+        def observe_frames(table, lines, n, chunk):
+            for start in range(0, n, chunk):
+                table.observe(lines[start : start + chunk])
+    """
+    assert rule_ids(src, module="repro.workloads.vt") == []
+
+
+# ---------------------------------------------------------------------------
 # Inline suppression
 
 

@@ -137,7 +137,7 @@ class TestJobSpec:
             spec_from_payload({"scene": "quake", "family": "spiral"})
         with pytest.raises(ConfigurationError, match="unknown job field"):
             spec_from_payload({"scene": "quake", "colour": "red"})
-        with pytest.raises(ConfigurationError, match="'experiment' name or a 'scene'"):
+        with pytest.raises(ConfigurationError, match="'scene' or a 'vt_scene'"):
             spec_from_payload({"scale": 0.5})
 
     def test_rejects_bad_values(self):
