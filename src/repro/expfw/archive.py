@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import pipeline
 from repro.errors import ConfigurationError
-from repro.expfw.spec import ExperimentSpec, require_spec
+from repro.expfw.spec import ExperimentSpec, RunResult, require_spec
 from repro.pipeline.keys import fingerprint
 from repro.pipeline.store import ARTIFACT_DIR_ENV_VAR, ArtifactStore
 
@@ -196,7 +196,7 @@ class RunArchive:
 def run_record(
     spec: ExperimentSpec,
     params: Dict[str, object],
-    result,
+    result: RunResult,
     seed: Optional[int] = None,
 ) -> Dict:
     """Archive form of one declarative experiment run."""

@@ -33,7 +33,15 @@ import json
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 import numpy as np
 
@@ -41,6 +49,16 @@ from repro.errors import ConfigurationError, ServiceError
 from repro.expfw.archive import RunArchive, environment_fingerprint, trial_record
 from repro.expfw.spec import ExperimentSpec, searchable_spec
 from repro.pipeline.keys import fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.service.client import ServiceClient
+    from repro.service.scheduler import Scheduler
+
+
+class TrialDispatcher(Protocol):
+    """Anything that can evaluate one wave of trial payloads."""
+
+    def run_many(self, payloads: Sequence[Dict]) -> List[Dict]: ...
 
 STRATEGIES = ("grid", "halving", "both")
 BUDGET_UNITS = ("cycles", "seconds")
@@ -200,7 +218,7 @@ class ClientDispatcher:
     fleet behind the coordinator executes trials concurrently.
     """
 
-    def __init__(self, client, timeout: float = 600.0) -> None:
+    def __init__(self, client: "ServiceClient", timeout: float = 600.0) -> None:
         self.client = client
         self.timeout = timeout
 
@@ -220,7 +238,7 @@ class ClientDispatcher:
 class SchedulerDispatcher:
     """Dispatch trials through a local scheduler (``POST /searches``)."""
 
-    def __init__(self, scheduler, timeout: float = 600.0) -> None:
+    def __init__(self, scheduler: "Scheduler", timeout: float = 600.0) -> None:
         self.scheduler = scheduler
         self.timeout = timeout
 
@@ -272,7 +290,7 @@ class SearchDriver:
     def __init__(
         self,
         config: SearchConfig,
-        dispatcher=None,
+        dispatcher: Optional[TrialDispatcher] = None,
         archive: Optional[RunArchive] = None,
     ) -> None:
         self.config = config
@@ -472,7 +490,7 @@ class SearchDriver:
 
 def run_search(
     config: SearchConfig,
-    dispatcher=None,
+    dispatcher: Optional[TrialDispatcher] = None,
     archive: Optional[RunArchive] = None,
 ) -> Dict[str, object]:
     """One-shot convenience over :class:`SearchDriver`."""

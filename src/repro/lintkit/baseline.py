@@ -132,6 +132,24 @@ class Baseline:
         return unsuppressed, suppressed, stale
 
 
+def prune_baseline(
+    path: Union[str, Path], stale: Sequence[BaselineEntry]
+) -> int:
+    """Rewrite ``path`` without the ``stale`` entries.
+
+    Surviving entries keep their hand-written justifications verbatim.
+    Returns the number of entries removed.
+    """
+    baseline = Baseline.load(path)
+    stale_keys = {entry.key for entry in stale}
+    kept = [entry for entry in baseline.entries if entry.key not in stale_keys]
+    removed = len(baseline.entries) - len(kept)
+    if removed:
+        body = "".join(entry.render() + "\n" for entry in kept)
+        Path(path).write_text(_HEADER + body, encoding="utf-8")
+    return removed
+
+
 def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> int:
     """Write a baseline suppressing ``findings``; returns the entry count.
 

@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import ConfigurationError, ReproError
-from repro.lintkit.baseline import Baseline, write_baseline
+from repro.lintkit.baseline import Baseline, prune_baseline, write_baseline
 from repro.lintkit.engine import run
 from repro.lintkit.registry import all_rules
 
@@ -62,9 +62,26 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file without its stale entries (those "
+            "matching no current finding), preserving justifications"
+        ),
+    )
+    parser.add_argument(
         "--select",
         default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "run the project-wide dataflow rules too (key completeness, "
+            "flow-sensitive lock discipline, interprocedural taint); "
+            "parses the whole tree once and analyzes across files"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -121,7 +138,9 @@ def _main(args: argparse.Namespace) -> int:
 
     if args.write_baseline:
         target = args.baseline if args.baseline is not None else Path(DEFAULT_BASELINE)
-        findings = run(paths, baseline=None, select=select).findings
+        findings = run(
+            paths, baseline=None, select=select, project=args.project
+        ).findings
         count = write_baseline(target, findings)
         print(
             f"wrote {count} entr{'y' if count == 1 else 'ies'} to {target}; "
@@ -138,19 +157,33 @@ def _main(args: argparse.Namespace) -> int:
         elif args.baseline is not None:
             raise ConfigurationError(f"baseline file not found: {source}")
 
-    report = run(paths, baseline=baseline, select=select)
+    report = run(paths, baseline=baseline, select=select, project=args.project)
+
+    if args.prune_baseline:
+        if baseline is None:
+            raise ConfigurationError(
+                "--prune-baseline needs a baseline file (none found/loaded)"
+            )
+        removed = prune_baseline(baseline.path, report.stale_entries)
+        print(
+            f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+            f"from {baseline.path}"
+        )
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         for finding in report.findings:
             print(finding.render())
-        for entry in report.stale_entries:
-            print(
-                f"warning: stale baseline entry (code fixed or edited): "
-                f"{entry.rule} {entry.path} {entry.snippet!r}",
-                file=sys.stderr,
-            )
+        if not args.prune_baseline:
+            for entry in report.stale_entries:
+                print(
+                    f"warning: stale baseline entry (code fixed or edited): "
+                    f"[{entry.rule}] {entry.path} {entry.snippet!r} "
+                    f"-- justified as {entry.justification.lstrip('# ')!r}; "
+                    "delete the line or rerun with --prune-baseline",
+                    file=sys.stderr,
+                )
         if args.statistics and report.findings:
             counts: dict = {}
             for finding in report.findings:

@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError
 from repro.lintkit.baseline import Baseline, BaselineEntry
 from repro.lintkit.context import ModuleContext
 from repro.lintkit.findings import Finding
-from repro.lintkit.registry import Rule, select_rules
+from repro.lintkit.registry import ProjectRule, Rule, select_rules
 
 #: Inline suppression comment grammar.
 _INLINE_IGNORE = re.compile(
@@ -69,7 +69,7 @@ def analyze_context(
     active = list(rules) if rules is not None else select_rules()
     findings: List[Finding] = []
     for rule in active:
-        if not rule.applies_to(ctx.module):
+        if rule.requires_project or not rule.applies_to(ctx.module):
             continue
         for finding in rule.check(ctx):
             if not _inline_suppressed(ctx, finding):
@@ -128,14 +128,37 @@ def run(
     paths: Iterable[Union[str, Path]],
     baseline: Optional[Baseline] = None,
     select: Optional[Iterable[str]] = None,
+    project: bool = False,
 ) -> Report:
-    """Analyze every Python file under ``paths`` and apply the baseline."""
+    """Analyze every Python file under ``paths`` and apply the baseline.
+
+    With ``project=True`` the tree is additionally parsed into a
+    :class:`~repro.lintkit.flow.Project` and the project rules
+    (key completeness, lock discipline, interprocedural taint) run on
+    top of the per-file ones.  The project's contexts back the
+    per-file pass too, so the tree is parsed exactly once.
+    """
     rules = select_rules(list(select) if select is not None else None)
     files = iter_python_files(paths)
     all_findings: List[Finding] = []
-    for file_path in files:
-        ctx = ModuleContext.from_path(str(file_path))
-        all_findings.extend(analyze_context(ctx, rules))
+    if project:
+        from repro.lintkit import flow
+
+        proj = flow.project_for(files)
+        by_path = {ctx.path: ctx for ctx in proj.contexts}
+        for ctx in proj.contexts:
+            all_findings.extend(analyze_context(ctx, rules))
+        for rule in rules:
+            if not isinstance(rule, ProjectRule):
+                continue
+            for finding in rule.check_project(proj):
+                ctx = by_path.get(finding.path)
+                if ctx is None or not _inline_suppressed(ctx, finding):
+                    all_findings.append(finding)
+    else:
+        for file_path in files:
+            ctx = ModuleContext.from_path(str(file_path))
+            all_findings.extend(analyze_context(ctx, rules))
     all_findings.sort(key=Finding.sort_key)
     if baseline is None:
         return Report(findings=all_findings, files_checked=len(files))

@@ -1,0 +1,189 @@
+"""Project symbol table: functions, classes and methods by qualname.
+
+A *project qualname* is the defining module's dotted name plus the
+lexical path to the definition: ``repro.pipeline.stages.routed_work``,
+``repro.service.leases.LeaseManager.grant``.  One nesting level of
+classes is indexed (methods); functions nested inside functions are
+deliberately not — they cannot be called from elsewhere, so they never
+matter for interprocedural questions.
+
+Call resolution (:meth:`SymbolTable.resolve_call`) goes through the
+module's import table (``keys.cache_key`` after ``from repro.pipeline
+import keys`` resolves to ``repro.pipeline.keys.cache_key``) and the
+``self.method(...)`` convention inside a class.  Anything it cannot
+resolve — builtins, stdlib, attribute chains rooted in values — comes
+back ``None``, and the dataflow layers treat those calls generously.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lintkit.context import ModuleContext
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef
+    #: Parameter names in declaration order, ``self``/``cls`` dropped.
+    params: Tuple[str, ...]
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and declared fields."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Annotated class-body names (dataclass fields), declaration order.
+    fields: Tuple[str, ...] = ()
+
+
+def _param_names(node: ast.FunctionDef, is_method: bool) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _declared_fields(cls: ast.ClassDef) -> Tuple[str, ...]:
+    """Annotated class-body names — the dataclass field vocabulary.
+
+    ``ClassVar`` annotations are skipped on the annotation's textual
+    root; anything else annotated in the class body counts.
+    """
+    names: List[str] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(stmt.annotation) if stmt.annotation else ""
+        if annotation.split("[", 1)[0].rsplit(".", 1)[-1] == "ClassVar":
+            continue
+        names.append(stmt.target.id)
+    return tuple(names)
+
+
+class SymbolTable:
+    """Every function/class/method of the project, by qualname."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    @classmethod
+    def build(cls, contexts: Iterable[ModuleContext]) -> "SymbolTable":
+        table = cls()
+        for ctx in contexts:
+            table._index_module(ctx)
+        return table
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        tree = ctx.tree
+        if not isinstance(tree, ast.Module):
+            return
+        for stmt in tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                self._add_function(ctx, stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(ctx, stmt)
+
+    def _add_function(
+        self, ctx: ModuleContext, node: ast.FunctionDef, class_name: Optional[str]
+    ) -> FunctionInfo:
+        parts = [ctx.module] + ([class_name] if class_name else []) + [node.name]
+        info = FunctionInfo(
+            qualname=".".join(parts),
+            module=ctx.module,
+            path=ctx.path,
+            node=node,
+            params=_param_names(node, is_method=class_name is not None),
+            class_name=class_name,
+        )
+        self.functions[info.qualname] = info
+        return info
+
+    def _add_class(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{ctx.module}.{node.name}",
+            module=ctx.module,
+            path=ctx.path,
+            node=node,
+            fields=_declared_fields(node),
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                info.methods[stmt.name] = self._add_function(
+                    ctx, stmt, class_name=node.name
+                )
+        self.classes[info.qualname] = info
+
+    # -- lookup ------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.class_name is None:
+            return None
+        return self.classes.get(f"{info.module}.{info.class_name}")
+
+    def resolve_call(
+        self,
+        ctx: ModuleContext,
+        call: ast.Call,
+        enclosing_class: Optional[ClassInfo] = None,
+    ) -> Optional[FunctionInfo]:
+        """The project function a call refers to, or ``None``.
+
+        Handles ``self.method(...)`` inside a class and plain/imported
+        names (``cache_key(...)``, ``keys.cache_key(...)``).
+        Constructor calls are deliberately *not* resolved: an instance
+        carries everything its constructor consumed, so the dataflow
+        layers treat them like any other unresolved call — generously,
+        every argument flows into the result.
+        """
+        func = call.func
+        if (
+            enclosing_class is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return enclosing_class.methods.get(func.attr)
+        name = ctx.qualname(func)
+        if name is None or name in self.classes:
+            return None
+        info = self.functions.get(name)
+        if info is not None:
+            return info
+        # A bare name with no import entry: a same-module definition.
+        local = f"{ctx.module}.{name}"
+        if local in self.classes:
+            return None
+        return self.functions.get(local)

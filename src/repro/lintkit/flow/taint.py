@@ -1,0 +1,56 @@
+"""Taint-source vocabulary for the interprocedural determinism rules.
+
+Two source categories exist, shared with the per-file determinism
+rules (:mod:`repro.lintkit.rules.determinism`):
+
+* ``wall-clock`` — any call in ``WALL_CLOCK_CALLS``;
+* ``rng`` — the process-global PRNG surfaces: ``random.<fn>`` (except
+  an explicitly *seeded* ``random.Random(seed)``) and
+  ``numpy.random.<fn>`` (except a *seeded* seedable constructor).
+
+:func:`source_category` classifies one call; the summary layer
+propagates the categories through assignments, expressions and helper
+calls, so ``REPRO111`` can ask "does this function's return value
+derive from a clock or a global PRNG, however indirectly?".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Optional
+
+from repro.lintkit.rules.determinism import WALL_CLOCK_CALLS, _SEEDABLE_CONSTRUCTORS
+
+#: The taint categories a value can carry.
+WALL_CLOCK = "wall-clock"
+RNG = "rng"
+CATEGORIES: FrozenSet[str] = frozenset({WALL_CLOCK, RNG})
+
+
+def source_category(dotted: Optional[str], call: ast.Call) -> Optional[str]:
+    """The taint category a call introduces, or ``None``.
+
+    ``dotted`` is the import-resolved name of the call target
+    (``time.monotonic``, ``numpy.random.default_rng``); value-rooted
+    calls arrive as ``None`` and introduce nothing themselves (taint
+    on the *receiver* is the evaluator's business, not this table's).
+    """
+    if dotted is None:
+        return None
+    if dotted in WALL_CLOCK_CALLS:
+        return WALL_CLOCK
+    if dotted == "random.Random" or dotted in _SEEDABLE_CONSTRUCTORS:
+        # Seeded constructions are deterministic; unseeded draw entropy.
+        if not call.args and not call.keywords:
+            return RNG
+        return None
+    if dotted.startswith("random.") or dotted.startswith("numpy.random."):
+        return RNG
+    return None
+
+
+def describe(category: str) -> str:
+    """Human phrasing for finding messages."""
+    if category == WALL_CLOCK:
+        return "the wall clock"
+    return "a process-global PRNG"

@@ -11,11 +11,14 @@ one new module in :mod:`repro.lintkit.rules` — no engine changes.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from repro.errors import ConfigurationError
 from repro.lintkit.context import ModuleContext
 from repro.lintkit.findings import Finding, normalize_snippet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lintkit.flow import Project
 
 
 class Rule:
@@ -27,6 +30,8 @@ class Rule:
     title: str = ""
     #: Module prefixes the rule applies to; ``None`` means every module.
     scopes: Optional[Tuple[str, ...]] = None
+    #: Project rules need the whole-tree flow analysis (``--project``).
+    requires_project: bool = False
 
     def applies_to(self, module: str) -> bool:
         if self.scopes is None:
@@ -50,6 +55,25 @@ class Rule:
             message=message,
             snippet=normalize_snippet(ctx.line(line)),
         )
+
+
+class ProjectRule(Rule):
+    """A rule over the whole project instead of one module.
+
+    Project rules run only in ``--project`` mode: they see the
+    :class:`~repro.lintkit.flow.Project` (symbol table, call graph,
+    flow summaries) and may anchor findings in any analyzed file.  The
+    per-file ``check`` is a no-op so a project rule in the default
+    rule set never fires accidentally on single-file runs.
+    """
+
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Rule] = {}

@@ -1,5 +1,23 @@
 """Built-in rule modules; importing this package registers them all."""
 
-from repro.lintkit.rules import batch, concurrency, cycles, determinism, obs
+from repro.lintkit.rules import (
+    batch,
+    concurrency,
+    cycles,
+    determinism,
+    keyflow,
+    lockflow,
+    obs,
+    taintflow,
+)
 
-__all__ = ["batch", "concurrency", "cycles", "determinism", "obs"]
+__all__ = [
+    "batch",
+    "concurrency",
+    "cycles",
+    "determinism",
+    "keyflow",
+    "lockflow",
+    "obs",
+    "taintflow",
+]

@@ -9,7 +9,7 @@ the texture cache sees, in scan order.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -56,7 +56,9 @@ class TrilinearFilter:
         v: np.ndarray,
         levels: np.ndarray,
         texture_ids: np.ndarray,
-        address_fn,
+        address_fn: Callable[
+            [np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray
+        ],
     ) -> np.ndarray:
         """Stack the eight per-fragment addresses, shape ``(n, 8)``.
 

@@ -1,0 +1,45 @@
+"""REPRO603 positive fixture: ``strategy`` is dropped from the trial
+key, so grid and halving trials over the same payload collide."""
+
+import hashlib
+import json
+
+
+def _fingerprint(text):
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def run_record(spec, params, result, seed=None):
+    # Conforming: spec, params and seed all reach the key, so only the
+    # trial_record defect below should fire.
+    identity = json.dumps(params, sort_keys=True)
+    return {
+        "kind": "run",
+        "key": f"run/{spec}/{_fingerprint(identity)}#{seed}",
+        "metrics": result,
+    }
+
+
+def trial_record(
+    experiment,
+    strategy,
+    rung,
+    point,
+    payload,
+    seed,
+    result,
+    spec=None,
+):
+    identity = json.dumps(payload, sort_keys=True)
+    return {
+        "kind": "trial",
+        "key": f"trial/{experiment}/r{rung}/{_fingerprint(identity)}",
+        "experiment": experiment,
+        "strategy": strategy,
+        "rung": rung,
+        "point": point,
+        "payload": payload,
+        "seed": seed,
+        "result": result,
+        "spec": repr(spec),
+    }

@@ -1,0 +1,29 @@
+"""REPRO601 negative fixture: every non-exempt knob reaches a key."""
+
+
+def _cache_part(cache_spec, cache_config):
+    if cache_config:
+        return f"{cache_spec}+{sorted(cache_config.items())}"
+    return cache_spec
+
+
+def routed_work(
+    scene,
+    distribution,
+    cache_spec="lru",
+    cache_config=None,
+    setup_cycles=25,
+    chunk_size=None,
+    layout=None,
+    route_by="bbox",
+    fragments=None,
+    translator=None,
+):
+    plan_key = f"{scene}/{distribution}/{route_by}"
+    replay_key = (
+        f"{scene}/{distribution}/{_cache_part(cache_spec, cache_config)}"
+        f"/{layout}/chunk{chunk_size or 0}/{translator}"
+    )
+    work_key = f"{plan_key}|{replay_key}|setup{setup_cycles}"
+    cacheable = fragments is None
+    return {"work_key": work_key, "cacheable": cacheable}

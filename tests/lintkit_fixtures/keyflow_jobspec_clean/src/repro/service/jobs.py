@@ -1,0 +1,16 @@
+"""REPRO602 negative fixture: every field reaches ``result_key``."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    kind: str
+    scene: str
+    processors: int
+    cache: str
+
+    def result_key(self) -> str:
+        if self.kind == "experiment":
+            return f"experiment/{self.scene}"
+        return f"simulate/{self.scene}x{self.processors}/cache={self.cache}"

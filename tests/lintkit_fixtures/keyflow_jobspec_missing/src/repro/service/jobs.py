@@ -1,0 +1,18 @@
+"""REPRO602 positive fixture: ``processors`` changes the simulated
+result but never reaches ``result_key`` — two different runs collide
+on one result-store entry."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    kind: str
+    scene: str
+    processors: int
+    cache: str
+
+    def result_key(self) -> str:
+        if self.kind == "experiment":
+            return f"experiment/{self.scene}"
+        return f"simulate/{self.scene}/cache={self.cache}"

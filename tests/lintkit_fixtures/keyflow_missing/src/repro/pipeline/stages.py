@@ -1,0 +1,25 @@
+"""REPRO601 positive fixture: ``translator`` affects the work but is
+never folded into any key — the PR 4 bug shape."""
+
+
+def routed_work(
+    scene,
+    distribution,
+    cache_spec="lru",
+    cache_config=None,
+    setup_cycles=25,
+    chunk_size=None,
+    layout=None,
+    route_by="bbox",
+    fragments=None,
+    translator=None,
+):
+    plan_key = f"{scene}/{distribution}/{route_by}"
+    replay_key = (
+        f"{scene}/{distribution}/{cache_spec}+{cache_config}"
+        f"/{layout}/chunk{chunk_size or 0}"
+    )
+    work_key = f"{plan_key}|{replay_key}|setup{setup_cycles}"
+    translated = translator(scene) if translator else scene
+    cacheable = fragments is None
+    return {"work_key": work_key, "cacheable": cacheable, "scene": translated}

@@ -1,0 +1,28 @@
+"""REPRO411/412 negative fixture: the reaper scans and expires leases
+entirely under the lock (the corrected PR 7 shape)."""
+
+import threading
+
+
+class LeaseReaper:
+    def __init__(self, interval=1.0):
+        self._lock = threading.Lock()
+        self._pending = {}
+        self._expired_total = 0
+        self.interval = interval
+
+    def grant(self, lease_id, deadline):
+        with self._lock:
+            self._pending[lease_id] = deadline
+
+    def ack(self, lease_id):
+        with self._lock:
+            self._pending.pop(lease_id, None)
+
+    def tick(self, now):
+        with self._lock:
+            expired = [i for i, d in self._pending.items() if d <= now]
+            for lease_id in expired:
+                self._pending.pop(lease_id, None)
+            self._expired_total += len(expired)
+        return expired

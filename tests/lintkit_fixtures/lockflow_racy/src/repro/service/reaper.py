@@ -1,0 +1,29 @@
+"""REPRO412 positive fixture: the reaper thread scans the lease table
+*outside* the lock, then expires under it — the PR 7 race: a lease
+acked between the scan and the expiry loop is requeued anyway."""
+
+import threading
+
+
+class LeaseReaper:
+    def __init__(self, interval=1.0):
+        self._lock = threading.Lock()
+        self._pending = {}
+        self._expired_total = 0
+        self.interval = interval
+
+    def grant(self, lease_id, deadline):
+        with self._lock:
+            self._pending[lease_id] = deadline
+
+    def ack(self, lease_id):
+        with self._lock:
+            self._pending.pop(lease_id, None)
+
+    def tick(self, now):
+        expired = [i for i, d in self._pending.items() if d <= now]
+        with self._lock:
+            for lease_id in expired:
+                self._pending.pop(lease_id, None)
+            self._expired_total += len(expired)
+        return expired

@@ -1,0 +1,6 @@
+"""REPRO111 negative fixture: the timestamp is threaded in as a
+parameter, so the deterministic step never touches the clock."""
+
+
+def step(state, started_at):
+    return state + started_at

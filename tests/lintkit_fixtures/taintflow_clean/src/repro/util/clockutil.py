@@ -1,0 +1,7 @@
+"""REPRO111 negative fixture helper: entropy stays at the boundary."""
+
+import time
+
+
+def now_seconds():
+    return time.time()

@@ -1,0 +1,10 @@
+"""REPRO111 positive fixture: deterministic code calls a helper whose
+return value derives from the wall clock two calls away — invisible to
+the per-file REPRO101, caught interprocedurally."""
+
+from repro.util.clockutil import elapsed_tag
+
+
+def step(state):
+    tag = elapsed_tag()
+    return f"{state}/{tag}"

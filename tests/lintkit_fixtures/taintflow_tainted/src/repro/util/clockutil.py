@@ -1,0 +1,12 @@
+"""REPRO111 positive fixture helpers: a two-hop clock laundering chain
+outside the deterministic perimeter."""
+
+import time
+
+
+def _raw_stamp():
+    return time.time()
+
+
+def elapsed_tag():
+    return f"t{_raw_stamp():.0f}"
